@@ -1,0 +1,144 @@
+"""Ablations over the §II.B related-work baselines.
+
+The paper positions on-demand preallocation against three alternatives and
+predicts each one's failure mode:
+
+- **delayed allocation** "does not fit application with explicit sync
+  requests well" — syncs force allocation per write, arrival-ordered;
+- **copy-on-write** (Ceph/LFS) "works extremely well for write activity
+  [but] the performance of read traffic can be compromised";
+- **replication** (InterferenceRemoval/BORG/FS2) "is not free at runtime,
+  false predication of last IO timing still lead to the severe intra-file
+  interference".
+"""
+
+from repro.fs.dataplane import DataPlane
+from repro.fs.profiles import redbud_vanilla_profile, with_alloc_policy
+from repro.fs.replication import ReplicationManager
+from repro.sim.report import Table
+from repro.units import KiB, MiB
+from repro.workloads.base import FsyncOp, StreamProgram, WriteOp, run_data_phase
+from repro.workloads.streams import SharedFileMicrobench
+
+
+def _micro(policy: str, nstreams: int = 32, seed: int = 0):
+    cfg = with_alloc_policy(redbud_vanilla_profile(ndisks=5), policy)
+    plane = DataPlane(cfg)
+    bench = SharedFileMicrobench(
+        nstreams=nstreams, file_bytes=192 * MiB, write_request_bytes=16 * KiB, seed=seed
+    )
+    f = bench.create_shared_file(plane)
+    w = bench.phase1_write(plane, f)
+    plane.close_file(f)
+    r = bench.phase2_read(plane, f)
+    return plane, f, w, r
+
+
+def test_ablation_delayed_vs_sync(benchmark, bench_seed):
+    """Delayed allocation coalesces beautifully — until the application
+    syncs after every write."""
+
+    def run():
+        out = {}
+        for mode in ("async", "sync-per-write"):
+            cfg = with_alloc_policy(redbud_vanilla_profile(ndisks=5), "delayed")
+            plane = DataPlane(cfg)
+            f = plane.create_file("/d.out")
+            nstreams, writes, req = 16, 64, 16 * KiB
+            programs = []
+            for s in range(nstreams):
+                ops = []
+                base = s * writes * req
+                for i in range(writes):
+                    ops.append(WriteOp(f, base + i * req, req))
+                    if mode == "sync-per-write":
+                        ops.append(FsyncOp(f))
+                if mode == "async":
+                    ops.append(FsyncOp(f))
+                programs.append(StreamProgram(s, ops))
+            run_data_phase(plane, programs, seed=bench_seed)
+            out[mode] = f.extent_count
+        return out
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    table = Table(
+        "Ablation — delayed allocation vs explicit syncs (extent counts)",
+        ["mode", "extents"],
+    )
+    for mode, extents in result.items():
+        table.add_row([mode, extents])
+    table.print()
+    # §II.B: per-write syncs destroy delayed allocation's coalescing.
+    assert result["sync-per-write"] > 4 * result["async"]
+
+
+def test_ablation_cow_tradeoff(benchmark, bench_seed):
+    """CoW appends: fastest writes of any policy, fragmented reads."""
+
+    def run():
+        out = {}
+        for policy in ("cow", "reservation", "ondemand"):
+            _, f, w, r = _micro(policy, seed=bench_seed)
+            out[policy] = (w.mib_per_s, r.mib_per_s, f.extent_count)
+        return out
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    table = Table(
+        "Ablation — copy-on-write vs in-place policies (32-stream micro-bench)",
+        ["policy", "write MiB/s", "read MiB/s", "extents"],
+    )
+    for policy, (w, r, x) in result.items():
+        table.add_row([policy, w, r, x])
+    table.print()
+    # Writes excellent, reads compromised (vs on-demand).
+    assert result["cow"][0] >= 0.9 * max(v[0] for v in result.values())
+    assert result["cow"][1] < result["ondemand"][1]
+    assert result["cow"][2] > result["ondemand"][2]
+
+
+def test_ablation_replication(benchmark, bench_seed):
+    """Replication repairs fragmented reads eventually, but the copy is
+    charged at runtime and a mispredicted trigger reclaims nothing."""
+
+    def run():
+        out = {}
+        for passes in (1, 8):
+            cfg = with_alloc_policy(redbud_vanilla_profile(ndisks=5), "reservation")
+            plane = DataPlane(cfg)
+            bench = SharedFileMicrobench(
+                nstreams=32, file_bytes=192 * MiB, write_request_bytes=16 * KiB,
+                seed=bench_seed,
+            )
+            f = bench.create_shared_file(plane)
+            bench.phase1_write(plane, f)
+            plane.close_file(f)
+            mgr = ReplicationManager(plane, trigger_ratio=2.0, min_reads=16)
+            plane.array.reset_timelines()
+            start = plane.array.elapsed_s
+            bytes_read = 0
+            for _ in range(passes):
+                for off in range(0, 192 * MiB, 1 * MiB):
+                    requests = mgr.read(f, off, 1 * MiB)
+                    plane.array.submit_batch(requests)
+                    bytes_read += 1 * MiB
+            elapsed = plane.array.elapsed_s - start
+            out[passes] = bytes_read / elapsed / MiB
+        # On-demand needs no replication at all: same read volume, single pass.
+        _, f, _, r = _micro("ondemand", seed=bench_seed)
+        out["ondemand-1pass"] = r.mib_per_s
+        return out
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    table = Table(
+        "Ablation — reservation + replication vs on-demand (read MiB/s)",
+        ["configuration", "effective read MiB/s"],
+    )
+    table.add_row(["replication, 1 pass (copy mispredicted)", result[1]])
+    table.add_row(["replication, 8 passes (copy amortized)", result[8]])
+    table.add_row(["on-demand, 1 pass (no replication needed)", result["ondemand-1pass"]])
+    table.print()
+    # The copy amortizes over repeated reads...
+    assert result[8] > result[1]
+    # ...but a single pass pays for a copy it never exploits: on-demand's
+    # up-front placement beats it.
+    assert result["ondemand-1pass"] > result[1]

@@ -1,0 +1,43 @@
+"""Figure 10: PostMark and application execution-time proportions.
+
+Paper: "we still observe 4%-13% reduction than Lustre file system in
+execution time for file-intensive programs, including PostMark, tar and
+make-clean.  Make program, on the other hand, generates CPU-intensive
+workload ... we see a much smaller improvement of only 4%."
+"""
+
+from repro.core.experiments import postmark_apps
+from repro.sim.report import Table, format_pct
+
+
+def test_fig10_postmark_apps(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        postmark_apps,
+        kwargs=dict(scale=bench_scale, seed=bench_seed),
+        iterations=1,
+        rounds=1,
+    )
+    table = Table(
+        "Fig 10 — execution time (simulated s) and proportion vs Lustre",
+        ["program", "lustre", "redbud-mif", "time proportion", "reduction"],
+    )
+    rows = [
+        ("postmark", result.postmark["lustre"].elapsed_s, result.postmark["redbud-mif"].elapsed_s),
+        ("tar", result.apps["lustre"]["tar"].elapsed_s, result.apps["redbud-mif"]["tar"].elapsed_s),
+        ("make", result.apps["lustre"]["make"].elapsed_s, result.apps["redbud-mif"]["make"].elapsed_s),
+        ("make-clean", result.apps["lustre"]["make-clean"].elapsed_s, result.apps["redbud-mif"]["make-clean"].elapsed_s),
+    ]
+    for name, lustre_s, mif_s in rows:
+        prop = mif_s / lustre_s
+        table.add_row([name, lustre_s, mif_s, f"{prop:.3f}", format_pct(prop - 1)])
+        benchmark.extra_info[f"{name}_proportion"] = round(prop, 3)
+    table.print()
+
+    # Paper shapes: file-intensive programs gain; make (CPU-bound) barely.
+    for app in ("postmark", "tar", "make-clean"):
+        assert result.time_proportion(app) < 1.0
+    make_gain = 1 - result.time_proportion("make")
+    assert make_gain < 0.15
+    assert make_gain < max(
+        1 - result.time_proportion(a) for a in ("postmark", "tar", "make-clean")
+    )

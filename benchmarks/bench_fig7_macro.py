@@ -1,0 +1,56 @@
+"""Figure 7: IOR2 and BTIO macro-benchmark throughput.
+
+Paper: on-demand beats reservation in the non-collective runs (BTIO +19%;
+IOR less, its requests being 32-64K and per-process-contiguous), collective
+I/O (~40 MB requests) is much faster than non-collective and makes
+on-demand's "effectiveness ... disappointed".
+"""
+
+from repro.core.experiments import macro_benchmarks
+from repro.sim.report import Table, format_pct
+
+
+def test_fig7_macro(benchmark, bench_scale, bench_seed):
+    result = benchmark.pedantic(
+        macro_benchmarks,
+        kwargs=dict(scale=bench_scale, seed=bench_seed),
+        iterations=1,
+        rounds=1,
+    )
+    table = Table(
+        "Fig 7 — macro-benchmark throughput (MiB/s)",
+        ["app", "mode", "reservation", "ondemand", "ondemand gain"],
+    )
+    for app in ("IOR", "BTIO"):
+        for collective in (False, True):
+            res = result.get(app, "reservation", collective)
+            ond = result.get(app, "ondemand", collective)
+            gain = ond.throughput_mib_s / res.throughput_mib_s - 1
+            mode = "collective" if collective else "non-collective"
+            table.add_row(
+                [app, mode, res.throughput_mib_s, ond.throughput_mib_s, format_pct(gain)]
+            )
+            benchmark.extra_info[f"{app}_{mode}_gain"] = round(gain, 3)
+    table.print()
+
+    for app in ("IOR", "BTIO"):
+        # Non-collective: on-demand wins.
+        assert (
+            result.get(app, "ondemand", False).throughput_mib_s
+            > result.get(app, "reservation", False).throughput_mib_s
+        )
+        # Collective is much faster for both policies and shrinks the gap.
+        for policy in ("reservation", "ondemand"):
+            assert (
+                result.get(app, policy, True).throughput_mib_s
+                > result.get(app, policy, False).throughput_mib_s
+            )
+        gap_nc = (
+            result.get(app, "ondemand", False).throughput_mib_s
+            / result.get(app, "reservation", False).throughput_mib_s
+        )
+        gap_co = (
+            result.get(app, "ondemand", True).throughput_mib_s
+            / result.get(app, "reservation", True).throughput_mib_s
+        )
+        assert gap_co < gap_nc

@@ -1,0 +1,44 @@
+"""Figure 9: impact of file system aging on metadata throughput.
+
+Paper: "at 80% capacity, the throughput for the creation using embedded
+directory decreases by 43%.  Performance of deletion, on the other hand,
+is not severely compromised. ... performance of operations on the embedded
+directory still outperforms both traditional approaches".
+"""
+
+from repro.core.experiments import aging_impact
+from repro.sim.report import Table
+
+
+def test_fig9_aging(benchmark, bench_seed):
+    # Full directory scale: embedded content preallocations must be large
+    # enough (dozens of blocks) for an aged free space to degrade them.
+    result = benchmark.pedantic(
+        aging_impact,
+        kwargs=dict(utilizations=(0.0, 0.2, 0.4, 0.6, 0.8), scale=1.0, seed=bench_seed),
+        iterations=1,
+        rounds=1,
+    )
+    table = Table(
+        "Fig 9 — create/delete throughput (ops/s) vs MFS utilization",
+        ["utilization", "system", "create/s", "delete/s"],
+    )
+    for run in result.runs:
+        table.add_row(
+            [f"{run.utilization:.0%}", run.profile, run.create_ops_s, run.delete_ops_s]
+        )
+    table.print()
+
+    mif_fresh = result.get("redbud-mif", 0.0)
+    mif_aged = result.get("redbud-mif", 0.8)
+    drop = 1 - mif_aged.create_ops_s / mif_fresh.create_ops_s
+    benchmark.extra_info["embedded_create_drop_at_80"] = round(drop, 3)
+
+    # Paper shapes: creation suffers (−43% in the paper; our journal/RPC
+    # floor damps the relative drop — see EXPERIMENTS.md), deletion
+    # doesn't, and embedded still wins when aged.
+    assert drop > 0.02
+    assert mif_aged.create_ops_s < mif_fresh.create_ops_s
+    assert mif_aged.delete_ops_s > 0.85 * mif_fresh.delete_ops_s
+    for base in ("redbud-orig", "lustre"):
+        assert mif_aged.create_ops_s > result.get(base, 0.8).create_ops_s

@@ -1,0 +1,63 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures and prints the
+same rows/series the paper reports (run with ``-s`` to see them;
+the key numbers are also attached to pytest-benchmark's ``extra_info`` so
+``--benchmark-json`` captures them).
+
+Scale: benchmarks default to a laptop-friendly fraction of the paper's
+workload sizes; set ``REPRO_BENCH_SCALE=1.0`` for full scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import (
+    AllocPolicyParams,
+    CacheParams,
+    DiskParams,
+    FSConfig,
+    MetaParams,
+    SchedulerParams,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+def small_config(policy: str = "ondemand", layout: str = "embedded", **kw) -> FSConfig:
+    """Small, fast FSConfig for metadata-side ablations (mirrors the test
+    suite's fixture without importing from it)."""
+    blocks = 16384
+    return FSConfig(
+        name=f"bench-{policy}-{layout}",
+        ndisks=kw.pop("ndisks", 2),
+        stripe_blocks=kw.pop("stripe_blocks", 64),
+        pags_per_disk=kw.pop("pags_per_disk", 2),
+        disk=DiskParams(capacity_blocks=blocks),
+        mds_disk=DiskParams(capacity_blocks=blocks),
+        scheduler=SchedulerParams(),
+        cache=CacheParams(capacity_blocks=kw.pop("cache_blocks", 1024)),
+        alloc=AllocPolicyParams(policy=policy, **kw.pop("alloc_kw", {})),
+        meta=MetaParams(
+            layout=layout,
+            block_groups=4,
+            blocks_per_group=2048,
+            inodes_per_group=256,
+            journal_blocks=128,
+            journal_interval_ops=16,
+            dir_prealloc_blocks=2,
+            **kw.pop("meta_kw", {}),
+        ),
+        **kw,
+    )

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""File system aging study (§V.D.2, Fig. 9).
+
+Ages the metadata file system to increasing utilizations and measures
+create/delete throughput under all three systems.  Shows the embedded
+directory's creation cost rising with free-space fragmentation (its content
+preallocation can no longer find contiguous runs) while deletion stays flat.
+
+Run:  python examples/aging_study.py
+"""
+
+from repro import lustre_profile, redbud_mif_profile, redbud_vanilla_profile
+from repro.meta.mds import MetadataServer
+from repro.sim.report import Table
+from repro.workloads.aging import age_metadata_fs
+from repro.workloads.metarates import MetaratesWorkload
+
+
+def main() -> None:
+    workload = MetaratesWorkload(nclients=10, files_per_dir=1000)
+    table = Table(
+        "Aging impact on metadata throughput (ops/s)",
+        ["utilization", "system", "create/s", "delete/s"],
+    )
+    for util in (0.0, 0.2, 0.4, 0.6, 0.8):
+        for profile in (
+            redbud_vanilla_profile(),
+            lustre_profile(),
+            redbud_mif_profile(),
+        ):
+            mds = MetadataServer(profile)
+            achieved = age_metadata_fs(mds, util, seed=42)
+            dirs = workload.setup_dirs(mds)
+            mds.drop_caches()
+            created = workload.run_create(mds, dirs)
+            deleted = workload.run_delete(mds, dirs)
+            table.add_row(
+                [f"{achieved:.0%}", profile.name, created.ops_per_s, deleted.ops_per_s]
+            )
+    table.print()
+    print(
+        "Embedded-directory creation preallocates contiguous content runs;\n"
+        "an aged, fragmented free space forces it into scattered small\n"
+        "allocations (Fig. 9's creation penalty).  Deletion only marks\n"
+        "slots dead and lazy-frees in batches, so it barely moves."
+    )
+
+
+if __name__ == "__main__":
+    main()

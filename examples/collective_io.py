@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Collective vs non-collective I/O for the paper's macro-benchmarks
+(IOR2 and NPB BTIO, §V.C.2).
+
+Shows the crossover §V.C.2 reports: on-demand preallocation helps the
+small-request non-collective runs, while collective I/O (two-phase
+aggregation into ~40 MB requests) is fast under any placement policy —
+"this may makes the effectiveness of on-demand preallocation be
+disappointed in this case".
+
+Run:  python examples/collective_io.py
+"""
+
+from repro.fs.dataplane import DataPlane
+from repro.fs.profiles import redbud_vanilla_profile, with_alloc_policy
+from repro.sim.report import Table
+from repro.units import KiB, MiB
+from repro.workloads.btio import BTIOBenchmark
+from repro.workloads.ior import IORBenchmark
+
+
+def run(app: str, policy: str, collective: bool) -> tuple[float, int]:
+    cfg = with_alloc_policy(redbud_vanilla_profile(ndisks=8), policy)
+    plane = DataPlane(cfg)
+    if app == "IOR":
+        bench = IORBenchmark(
+            nprocs=64, file_bytes=256 * MiB, request_bytes=64 * KiB,
+            collective=collective,
+        )
+    else:
+        bench = BTIOBenchmark(
+            nprocs=64, step_bytes_per_proc=512 * KiB, steps=4,
+            collective=collective,
+        )
+    f = bench.create_file(plane)
+    w = bench.write_phase(plane, f)
+    plane.close_file(f)
+    r = bench.read_phase(plane, f)
+    total = (w.bytes_moved + r.bytes_moved) / (w.elapsed + r.elapsed) / MiB
+    return total, f.extent_count
+
+
+def main() -> None:
+    table = Table(
+        "IOR2 / BTIO on a 16-node cluster (64 procs, 8-disk stripe)",
+        ["app", "mode", "policy", "MiB/s", "extents"],
+    )
+    for app in ("IOR", "BTIO"):
+        for collective in (False, True):
+            for policy in ("reservation", "ondemand"):
+                tput, extents = run(app, policy, collective)
+                mode = "collective" if collective else "non-collective"
+                table.add_row([app, mode, policy, tput, extents])
+    table.print()
+    print(
+        "Non-collective runs issue many small per-process requests whose\n"
+        "arrival-order placement fragments the shared file; on-demand\n"
+        "windows keep each process stream contiguous.  Collective I/O\n"
+        "already aggregates before the file system sees the data, so the\n"
+        "placement policy hardly matters there."
+    )
+
+
+if __name__ == "__main__":
+    main()

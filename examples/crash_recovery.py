@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Crash-recovery semantics of the preallocation policies (§III.A).
+
+The paper distinguishes two durability classes inside on-demand
+preallocation: current-window blocks are "persistently preallocated"
+(handed to the file, survive reboots), while sequential-window blocks are
+"temporarily reserved" (in-memory, reclaimed on recovery).  This example
+crashes a file system mid-workload under each policy and shows what
+survives, what is reclaimed, and that fsck stays clean throughout.
+
+Run:  python examples/crash_recovery.py
+"""
+
+from repro.fs.dataplane import DataPlane
+from repro.fs.profiles import redbud_vanilla_profile, with_alloc_policy
+from repro.fs.verify import check_dataplane
+from repro.sim.report import Table
+from repro.units import KiB, MiB
+
+
+def main() -> None:
+    table = Table(
+        "Crash mid-write: blocks held before vs after recovery",
+        ["policy", "mapped", "held before crash", "reclaimed", "data intact", "fsck"],
+    )
+    for policy in ("reservation", "static", "ondemand", "delayed"):
+        cfg = with_alloc_policy(redbud_vanilla_profile(ndisks=2), policy)
+        plane = DataPlane(cfg)
+        free0 = plane.fsm.free_blocks
+        f = plane.create_file(
+            "/sim.out", expected_bytes=4 * MiB if policy == "static" else None
+        )
+        # Two streams mid-extend: windows/pools/buffers are live.
+        for i in range(16):
+            plane.write(f, 1, i * 16 * KiB, 16 * KiB)
+            plane.write(f, 2, 2 * MiB + i * 16 * KiB, 16 * KiB)
+        mapped_before = f.mapped_blocks
+        held_before = free0 - plane.fsm.free_blocks
+
+        reclaimed = plane.crash_recover()
+
+        report = check_dataplane(plane)
+        table.add_row(
+            [
+                policy,
+                f.mapped_blocks,
+                held_before,
+                reclaimed,
+                f.mapped_blocks == mapped_before,
+                "clean" if report.clean else f"{len(report.errors)} errors",
+            ]
+        )
+    table.print()
+    print(
+        "reservation: the per-inode pool dies with the crash and its unused\n"
+        "blocks return to free space.  static: fallocated blocks are in the\n"
+        "extent map, so everything persists (that is fallocate's contract).\n"
+        "ondemand: written blocks persist (§III.A 'persistent across\n"
+        "reboots'); the temporary sequential windows are reclaimed.\n"
+        "delayed: unsynced buffers are simply gone — the durability caveat\n"
+        "of flush-time allocation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Metadata-intensive scenario: ``ls -l`` over big directories (§IV).
+
+Builds directories of growing size under the three compared systems
+(original Redbud, Lustre-like, Redbud+MiF) and measures the aggregated
+readdir-stat (readdirplus) that modern parallel file systems issue —
+showing why embedding inodes and mappings in directory content turns the
+operation into one sequential sweep.
+
+Run:  python examples/metadata_ls.py
+"""
+
+from repro import (
+    RedbudFileSystem,
+    lustre_profile,
+    redbud_mif_profile,
+    redbud_vanilla_profile,
+)
+from repro.sim.report import Table
+
+
+def measure(profile, nfiles: int) -> tuple[float, int]:
+    """(ops/s-equivalent time ms, disk requests) for one cold readdirplus."""
+    fs = RedbudFileSystem(profile)
+    fs.mkdir("/big")
+    for i in range(nfiles):
+        fs.create(f"/big/f{i:06d}")
+    fs.mds.flush()
+    fs.mds.drop_caches()
+    snap = fs.mds.metrics.snapshot()
+    t0 = fs.mds.elapsed_s
+    inodes = fs.readdir_stat("/big")
+    assert len(inodes) == nfiles
+    elapsed_ms = (fs.mds.elapsed_s - t0) * 1e3
+    requests = fs.mds.metrics.since(snap).count("disk.requests")
+    return elapsed_ms, requests
+
+
+def main() -> None:
+    table = Table(
+        "Cold readdir-stat (ls -l), one directory, single MDS disk",
+        ["files", "system", "time (ms)", "disk requests"],
+    )
+    for nfiles in (500, 2000, 5000):
+        for profile in (
+            redbud_vanilla_profile(),
+            lustre_profile(),
+            redbud_mif_profile(),
+        ):
+            ms, reqs = measure(profile, nfiles)
+            table.add_row([nfiles, profile.name, ms, reqs])
+    table.print()
+    print(
+        "The embedded directory reads inodes and mappings inline with the\n"
+        "directory content: one sequential region, amplified by the kernel\n"
+        "readahead window that keeps doubling on correct predictions —\n"
+        "§V.D.1's explanation for the gain growing with directory size."
+    )
+
+
+if __name__ == "__main__":
+    main()

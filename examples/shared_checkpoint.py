@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Scientific-computing scenario: N nodes checkpoint a physics simulation
+into one shared file (the LLNL workload of §II.A.1), then an analysis job
+reads the checkpoint back.
+
+Compares all four preallocation policies on the same hardware and prints
+the paper's key quantities: read-back throughput, extent ("segment")
+counts, and the space each policy holds at the end of the run.
+
+Run:  python examples/shared_checkpoint.py [nstreams]
+"""
+
+import sys
+
+from repro.fs.dataplane import DataPlane
+from repro.fs.profiles import redbud_vanilla_profile, with_alloc_policy
+from repro.sim.report import Table
+from repro.units import KiB, MiB
+from repro.workloads.streams import SharedFileMicrobench
+
+
+def main() -> None:
+    nstreams = int(sys.argv[1]) if len(sys.argv) > 1 else 48
+    file_bytes = 192 * MiB - (192 * MiB) % nstreams
+    table = Table(
+        f"Shared checkpoint: {nstreams} writer streams, "
+        f"{file_bytes // MiB} MiB file, 5-disk stripe",
+        ["policy", "write MiB/s", "read-back MiB/s", "extents", "space used MiB"],
+    )
+    for policy in ("vanilla", "reservation", "static", "ondemand"):
+        cfg = with_alloc_policy(redbud_vanilla_profile(ndisks=5), policy)
+        plane = DataPlane(cfg)
+        bench = SharedFileMicrobench(
+            nstreams=nstreams,
+            file_bytes=file_bytes,
+            write_request_bytes=16 * KiB,
+            read_request_bytes=64 * KiB,
+        )
+        f = bench.create_shared_file(plane, "/checkpoint.odb")
+        write = bench.phase1_write(plane, f)
+        plane.close_file(f)
+        read = bench.phase2_read(plane, f)
+        table.add_row(
+            [
+                policy,
+                write.mib_per_s,
+                read.mib_per_s,
+                f.extent_count,
+                plane.fsm.used_blocks * 4096 / MiB,
+            ]
+        )
+    table.print()
+    print(
+        "On-demand preallocation keeps each stream's region contiguous\n"
+        "(§III): extents drop by roughly an order of magnitude versus the\n"
+        "per-inode reservation, and read-back throughput rises accordingly.\n"
+        "Static (fallocate) is the upper bound but needs the file size up\n"
+        "front; vanilla/reservation place blocks in arrival order."
+    )
+
+
+if __name__ == "__main__":
+    main()

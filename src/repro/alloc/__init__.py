@@ -1,0 +1,31 @@
+"""Preallocation policies (§III): MiF's on-demand preallocation and the
+baselines the paper compares against (vanilla, reservation, static/fallocate,
+delayed allocation)."""
+
+from repro.alloc.base import AllocationPolicy, AllocTarget, PhysicalRun
+from repro.alloc.window import Window
+from repro.alloc.vanilla import VanillaPolicy
+from repro.alloc.reservation import ReservationPolicy
+from repro.alloc.static import StaticPolicy
+from repro.alloc.ondemand import OnDemandPolicy, StreamState
+from repro.alloc.delayed import DelayedPolicy
+from repro.alloc.cow import CowPolicy
+from repro.alloc.hybrid import HybridPolicy
+from repro.alloc.registry import make_policy, POLICY_NAMES
+
+__all__ = [
+    "AllocationPolicy",
+    "AllocTarget",
+    "PhysicalRun",
+    "Window",
+    "VanillaPolicy",
+    "ReservationPolicy",
+    "StaticPolicy",
+    "OnDemandPolicy",
+    "StreamState",
+    "DelayedPolicy",
+    "CowPolicy",
+    "HybridPolicy",
+    "make_policy",
+    "POLICY_NAMES",
+]

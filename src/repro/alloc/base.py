@@ -1,0 +1,139 @@
+"""Allocation policy interface.
+
+A policy answers one question for the file system's write path: *which
+physical blocks back this extending write, and what extra blocks (if any)
+are persistently preallocated around it?*
+
+Policies work in a per-allocator logical space ("dlocal"): the file system
+splits every write into stripe-unit segments, compacts each target PAG's
+stripes into a dense local coordinate, and calls the policy per segment.  A
+sequential client stream therefore appears to each PAG's allocator as a
+sequential dlocal stream — the exact setting of §III's algorithm — and the
+file system translates the returned physical runs back to file-logical
+extents.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.block.freespace import FreeSpaceManager
+from repro.config import AllocPolicyParams
+from repro.errors import AllocationError
+from repro.sim.metrics import Metrics
+
+
+@dataclass(frozen=True, slots=True)
+class AllocTarget:
+    """Where a write segment lands: one PAG in the file's stripe rotation."""
+
+    group_index: int    # PAG index in the FreeSpaceManager
+    slot: int           # this PAG's position in the file's rotation
+    width: int          # number of PAGs in the rotation
+    stripe_blocks: int  # stripe unit in blocks
+
+    def __post_init__(self) -> None:
+        if self.group_index < 0 or self.slot < 0:
+            raise AllocationError(f"invalid target ids: {self}")
+        if self.width <= 0 or not (0 <= self.slot < self.width):
+            raise AllocationError(f"slot/width mismatch: {self}")
+        if self.stripe_blocks <= 0:
+            raise AllocationError(f"stripe_blocks must be positive: {self}")
+
+
+@dataclass(frozen=True, slots=True)
+class PhysicalRun:
+    """A contiguous physical allocation returned by a policy.
+
+    ``dlocal`` is the allocator-local logical start the run backs;
+    ``unwritten`` marks persistent preallocation beyond the written range.
+    """
+
+    dlocal: int
+    physical: int
+    length: int
+    unwritten: bool = False
+
+    def __post_init__(self) -> None:
+        if self.dlocal < 0 or self.physical < 0 or self.length <= 0:
+            raise AllocationError(f"invalid run: {self}")
+
+
+class AllocationPolicy(abc.ABC):
+    """Base class for the §III policies and §II.B related-work baselines."""
+
+    #: Registry name, overridden by subclasses.
+    name = "abstract"
+    #: Copy-on-write semantics: the file system reallocates overwritten
+    #: ranges through :meth:`allocate` instead of writing in place.
+    cow = False
+
+    def __init__(
+        self,
+        params: AllocPolicyParams,
+        fsm: FreeSpaceManager,
+        metrics: Metrics | None = None,
+    ) -> None:
+        self.params = params
+        self.fsm = fsm
+        self.metrics = metrics if metrics is not None else Metrics()
+
+    # -- the one required operation ------------------------------------------
+    @abc.abstractmethod
+    def allocate(
+        self,
+        file_id: int,
+        stream_id: int,
+        target: AllocTarget,
+        dlocal: int,
+        count: int,
+    ) -> list[PhysicalRun]:
+        """Back the hole [dlocal, dlocal+count) with physical blocks.
+
+        Returns runs covering exactly the requested range (``unwritten=False``)
+        plus, for preallocating policies, extra ``unwritten=True`` runs.
+        An empty list means the write was *buffered* (delayed allocation) and
+        will be produced by :meth:`flush` later.
+        """
+
+    # -- optional hooks ----------------------------------------------------
+    def prepare(
+        self, file_id: int, target: AllocTarget, dlocal_blocks: int
+    ) -> list[PhysicalRun]:
+        """Persistently preallocate ``dlocal_blocks`` for a new file on this
+        target (fallocate).  Only the static policy implements it."""
+        return []
+
+    def flush(self, file_id: int) -> list[tuple[AllocTarget, list[PhysicalRun]]]:
+        """Materialize buffered writes (delayed allocation).  Other policies
+        have nothing buffered and return []."""
+        return []
+
+    def release(self, file_id: int) -> int:
+        """Drop all temporary reservations held for ``file_id``, returning
+        the blocks to free space.  Returns the number of blocks released.
+        Called on close and on delete."""
+        return 0
+
+    def on_delete(self, file_id: int) -> None:
+        """Forget per-file state (reservations are released separately)."""
+        self.release(file_id)
+
+    # -- shared helpers -----------------------------------------------------
+    def _plain_allocate(
+        self, target: AllocTarget, hint: int | None, count: int
+    ) -> list[tuple[int, int]]:
+        """Contiguous-best-effort allocation of exactly ``count`` blocks,
+        possibly as several runs.  Used as every policy's fallback path."""
+        runs: list[tuple[int, int]] = []
+        remaining = count
+        next_hint = hint
+        while remaining > 0:
+            start, got = self.fsm.allocate_in_group(
+                target.group_index, remaining, hint=next_hint, minimum=1
+            )
+            runs.append((start, got))
+            remaining -= got
+            next_hint = start + got
+        return runs

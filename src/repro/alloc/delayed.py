@@ -1,0 +1,89 @@
+"""Delayed allocation (§II.B related work).
+
+"Delayed allocation is also proposed in these file systems to postpone
+allocation to page flush time, rather than during the write() operation.
+This method provides the opportunity to combine many block allocation
+requests into a single request ... However, it assumes the data can be
+buffered in the memory for a long time, thus do not fit application with
+explicit sync requests well."
+
+:meth:`allocate` buffers the hole and returns no runs — the file system
+treats that as "no disk I/O yet".  :meth:`flush` (fsync/close/pressure)
+coalesces the buffered ranges per target, allocates each coalesced range
+contiguously, and returns the runs to be written out in one batch.
+"""
+
+from __future__ import annotations
+
+from repro.alloc.base import AllocationPolicy, AllocTarget, PhysicalRun
+
+
+class DelayedPolicy(AllocationPolicy):
+    """Buffer extends; allocate coalesced ranges at flush time."""
+
+    name = "delayed"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # file_id -> target -> list of (dlocal, count) pending holes
+        self._pending: dict[int, dict[AllocTarget, list[tuple[int, int]]]] = {}
+
+    def allocate(
+        self,
+        file_id: int,
+        stream_id: int,
+        target: AllocTarget,
+        dlocal: int,
+        count: int,
+    ) -> list[PhysicalRun]:
+        self.metrics.incr("alloc.requests")
+        per_file = self._pending.setdefault(file_id, {})
+        per_file.setdefault(target, []).append((dlocal, count))
+        self.metrics.incr("alloc.delayed_buffered_blocks", count)
+        if self.pending_blocks(file_id) >= self.params.delayed_batch_blocks:
+            self.metrics.incr("alloc.delayed_pressure_flushes")
+            # Memory pressure: the file system must call flush() next; we
+            # signal it by returning [] either way (the FS polls
+            # pending_blocks()).
+        return []
+
+    def pending_blocks(self, file_id: int) -> int:
+        """Blocks currently buffered for ``file_id``."""
+        per_file = self._pending.get(file_id, {})
+        return sum(c for ranges in per_file.values() for _, c in ranges)
+
+    def flush(self, file_id: int) -> list[tuple[AllocTarget, list[PhysicalRun]]]:
+        """Allocate all buffered ranges of ``file_id``, coalesced."""
+        per_file = self._pending.pop(file_id, {})
+        out: list[tuple[AllocTarget, list[PhysicalRun]]] = []
+        for target, ranges in per_file.items():
+            runs: list[PhysicalRun] = []
+            for dlocal, count in _coalesce(ranges):
+                cursor = dlocal
+                hint: int | None = runs[-1].physical + runs[-1].length if runs else None
+                for start, got in self._plain_allocate(target, hint, count):
+                    runs.append(PhysicalRun(dlocal=cursor, physical=start, length=got))
+                    cursor += got
+            if runs:
+                out.append((target, runs))
+                self.metrics.incr("alloc.delayed_flushes")
+        return out
+
+    def on_delete(self, file_id: int) -> None:
+        self._pending.pop(file_id, None)
+        super().on_delete(file_id)
+
+
+def _coalesce(ranges: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Sort and merge adjacent/overlapping (start, count) ranges."""
+    if not ranges:
+        return []
+    ordered = sorted(ranges)
+    merged = [ordered[0]]
+    for start, count in ordered[1:]:
+        last_start, last_count = merged[-1]
+        if start <= last_start + last_count:
+            merged[-1] = (last_start, max(last_count, start + count - last_start))
+        else:
+            merged.append((start, count))
+    return merged

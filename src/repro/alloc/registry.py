@@ -1,0 +1,51 @@
+"""Policy factory keyed on :attr:`AllocPolicyParams.policy`."""
+
+from __future__ import annotations
+
+from repro.alloc.base import AllocationPolicy
+from repro.alloc.cow import CowPolicy
+from repro.alloc.delayed import DelayedPolicy
+from repro.alloc.hybrid import HybridPolicy
+from repro.alloc.ondemand import OnDemandPolicy
+from repro.alloc.reservation import ReservationPolicy
+from repro.alloc.static import StaticPolicy
+from repro.alloc.vanilla import VanillaPolicy
+from repro.block.freespace import FreeSpaceManager
+from repro.config import AllocPolicyParams
+from repro.errors import ConfigError
+from repro.sim.metrics import Metrics
+
+_POLICIES: dict[str, type[AllocationPolicy]] = {
+    VanillaPolicy.name: VanillaPolicy,
+    ReservationPolicy.name: ReservationPolicy,
+    StaticPolicy.name: StaticPolicy,
+    OnDemandPolicy.name: OnDemandPolicy,
+    DelayedPolicy.name: DelayedPolicy,
+    CowPolicy.name: CowPolicy,
+    HybridPolicy.name: HybridPolicy,
+}
+
+#: Names accepted by :func:`make_policy`, in paper order (§III policies
+#: first, §II.B related-work baselines after).
+POLICY_NAMES: tuple[str, ...] = (
+    "vanilla",
+    "reservation",
+    "static",
+    "ondemand",
+    "delayed",
+    "cow",
+    "hybrid",
+)
+
+
+def make_policy(
+    params: AllocPolicyParams,
+    fsm: FreeSpaceManager,
+    metrics: Metrics | None = None,
+) -> AllocationPolicy:
+    """Instantiate the policy selected by ``params.policy``."""
+    try:
+        cls = _POLICIES[params.policy]
+    except KeyError:
+        raise ConfigError(f"unknown allocation policy: {params.policy!r}") from None
+    return cls(params, fsm, metrics)

@@ -1,0 +1,33 @@
+"""Vanilla allocation: no preallocation at all.
+
+Each write allocates exactly what it needs, contiguous-best-effort near the
+previous allocation in the same PAG.  This is Table I's "Vanilla" mode,
+whose files "are severely fragmented, suffering from more extents than
+others" — concurrent streams interleave their allocations freely.
+"""
+
+from __future__ import annotations
+
+from repro.alloc.base import AllocationPolicy, AllocTarget, PhysicalRun
+
+
+class VanillaPolicy(AllocationPolicy):
+    """First-fit-near-cursor allocation, one write at a time."""
+
+    name = "vanilla"
+
+    def allocate(
+        self,
+        file_id: int,
+        stream_id: int,
+        target: AllocTarget,
+        dlocal: int,
+        count: int,
+    ) -> list[PhysicalRun]:
+        self.metrics.incr("alloc.requests")
+        runs: list[PhysicalRun] = []
+        cursor = dlocal
+        for start, got in self._plain_allocate(target, None, count):
+            runs.append(PhysicalRun(dlocal=cursor, physical=start, length=got))
+            cursor += got
+        return runs

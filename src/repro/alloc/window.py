@@ -1,0 +1,80 @@
+"""Window records for reservation-style policies.
+
+§III.A: "The core data structures for preallocation are current window and
+sequential window.  Both windows have three components, a disk block number,
+a file logic block number and length."  A :class:`Window` is exactly that
+triple plus a consumption cursor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationError
+
+
+@dataclass
+class Window:
+    """A reserved range: dlocal blocks [logical, logical+length) backed by
+    physical blocks [physical, physical+length)."""
+
+    logical: int
+    physical: int
+    length: int
+    #: Blocks already consumed from the front of the window.
+    consumed: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.logical < 0 or self.physical < 0:
+            raise AllocationError(f"negative window coordinates: {self}")
+        if self.length <= 0:
+            raise AllocationError(f"window length must be positive: {self}")
+        if not (0 <= self.consumed <= self.length):
+            raise AllocationError(f"consumed out of range: {self}")
+
+    @property
+    def logical_end(self) -> int:
+        return self.logical + self.length
+
+    @property
+    def physical_end(self) -> int:
+        return self.physical + self.length
+
+    @property
+    def remaining(self) -> int:
+        return self.length - self.consumed
+
+    @property
+    def next_logical(self) -> int:
+        """First unconsumed dlocal block."""
+        return self.logical + self.consumed
+
+    @property
+    def next_physical(self) -> int:
+        """First unconsumed physical block."""
+        return self.physical + self.consumed
+
+    def covers(self, dlocal: int, count: int = 1) -> bool:
+        """True when [dlocal, dlocal+count) lies inside the window."""
+        if count <= 0:
+            raise AllocationError(f"count must be positive: {count}")
+        return self.logical <= dlocal and dlocal + count <= self.logical_end
+
+    def physical_for(self, dlocal: int) -> int:
+        """Physical block backing ``dlocal`` (must be inside the window)."""
+        if not self.covers(dlocal):
+            raise AllocationError(f"dlocal {dlocal} outside window {self}")
+        return self.physical + (dlocal - self.logical)
+
+    def consume_to(self, dlocal_end: int) -> None:
+        """Advance the consumption cursor to cover up to ``dlocal_end``."""
+        new_consumed = dlocal_end - self.logical
+        if not (0 <= new_consumed <= self.length):
+            raise AllocationError(
+                f"cannot consume to {dlocal_end} in window {self}"
+            )
+        self.consumed = max(self.consumed, new_consumed)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.consumed >= self.length

@@ -1,0 +1,17 @@
+"""Block layer: extents, free-space management and parallel allocation groups."""
+
+from repro.block.extent import Extent, ExtentFlags, ExtentMap
+from repro.block.freelist import FreeExtentSet
+from repro.block.bitmap import BlockBitmap
+from repro.block.group import AllocationGroup
+from repro.block.freespace import FreeSpaceManager
+
+__all__ = [
+    "Extent",
+    "ExtentFlags",
+    "ExtentMap",
+    "FreeExtentSet",
+    "BlockBitmap",
+    "AllocationGroup",
+    "FreeSpaceManager",
+]

@@ -1,0 +1,279 @@
+"""Extents and per-file extent maps.
+
+Redbud's "basic element of file layout is extent, which is identified by a
+tuple of [file offset, group offset, length, flags]" (§V.A).  The extent map
+is the logical→physical indirection whose fragmentation the paper measures:
+Table I's "Seg Counts" column is exactly ``ExtentMap.extent_count`` after
+each run.
+"""
+
+from __future__ import annotations
+
+import enum
+from bisect import bisect_right
+from dataclasses import dataclass, replace
+
+from repro.errors import ExtentError
+
+
+class ExtentFlags(enum.IntFlag):
+    """Extent state flags."""
+
+    NONE = 0
+    #: Preallocated but not yet written (fallocate-style unwritten extent).
+    UNWRITTEN = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Extent:
+    """A contiguous mapping of file logical blocks to physical blocks.
+
+    ``logical`` is the file block offset, ``physical`` the global disk block
+    (PAG-resolved "group offset"), ``length`` the run length in blocks.
+    """
+
+    logical: int
+    physical: int
+    length: int
+    flags: ExtentFlags = ExtentFlags.NONE
+
+    def __post_init__(self) -> None:
+        if self.logical < 0 or self.physical < 0:
+            raise ExtentError(f"negative extent coordinates: {self}")
+        if self.length <= 0:
+            raise ExtentError(f"extent length must be positive: {self}")
+
+    @property
+    def logical_end(self) -> int:
+        return self.logical + self.length
+
+    @property
+    def physical_end(self) -> int:
+        return self.physical + self.length
+
+    @property
+    def unwritten(self) -> bool:
+        return bool(self.flags & ExtentFlags.UNWRITTEN)
+
+    def physical_for(self, logical: int) -> int:
+        """Physical block backing file block ``logical`` (must be inside)."""
+        if not (self.logical <= logical < self.logical_end):
+            raise ExtentError(f"logical block {logical} outside {self}")
+        return self.physical + (logical - self.logical)
+
+    def abuts(self, other: "Extent") -> bool:
+        """True when ``other`` continues this extent both logically and
+        physically with identical flags (mergeable)."""
+        return (
+            other.logical == self.logical_end
+            and other.physical == self.physical_end
+            and other.flags == self.flags
+        )
+
+
+class ExtentMap:
+    """Sorted, non-overlapping logical→physical mapping for one file.
+
+    Adjacent extents that continue each other both logically and physically
+    are merged on insert, so ``extent_count`` reflects true fragmentation:
+    interleaved allocation from concurrent streams produces logical-adjacent
+    but physical-scattered blocks that cannot merge.
+    """
+
+    def __init__(self) -> None:
+        self._extents: list[Extent] = []  # sorted by logical start
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def extent_count(self) -> int:
+        """Number of extents ("segments" in Table I)."""
+        return len(self._extents)
+
+    @property
+    def mapped_blocks(self) -> int:
+        """Total blocks with a mapping (written or preallocated)."""
+        return sum(e.length for e in self._extents)
+
+    @property
+    def written_blocks(self) -> int:
+        """Blocks holding real data (excludes unwritten preallocation)."""
+        return sum(e.length for e in self._extents if not e.unwritten)
+
+    @property
+    def size_blocks(self) -> int:
+        """One past the highest mapped logical block (0 when empty)."""
+        if not self._extents:
+            return 0
+        return self._extents[-1].logical_end
+
+    def extents(self) -> list[Extent]:
+        """Snapshot of all extents in logical order."""
+        return list(self._extents)
+
+    def __len__(self) -> int:
+        return len(self._extents)
+
+    def __iter__(self):
+        return iter(self._extents)
+
+    def _index_for(self, logical: int) -> int:
+        """Index of the extent containing ``logical``, or -1."""
+        i = bisect_right(self._extents, logical, key=lambda e: e.logical) - 1
+        if i >= 0 and self._extents[i].logical <= logical < self._extents[i].logical_end:
+            return i
+        return -1
+
+    def lookup_block(self, logical: int) -> Extent | None:
+        """Extent containing file block ``logical``, or None (hole)."""
+        i = self._index_for(logical)
+        return self._extents[i] if i >= 0 else None
+
+    def lookup_range(self, logical: int, count: int) -> list[Extent]:
+        """All extent fragments overlapping [logical, logical+count), clipped
+        to the range.  Holes are simply absent from the result."""
+        if count <= 0:
+            raise ExtentError(f"range count must be positive: {count}")
+        out: list[Extent] = []
+        end = logical + count
+        i = bisect_right(self._extents, logical, key=lambda e: e.logical) - 1
+        if i < 0:
+            i = 0
+        while i < len(self._extents):
+            ext = self._extents[i]
+            if ext.logical >= end:
+                break
+            lo = max(ext.logical, logical)
+            hi = min(ext.logical_end, end)
+            if lo < hi:
+                out.append(
+                    Extent(
+                        logical=lo,
+                        physical=ext.physical + (lo - ext.logical),
+                        length=hi - lo,
+                        flags=ext.flags,
+                    )
+                )
+            i += 1
+        return out
+
+    def holes_in_range(self, logical: int, count: int) -> list[tuple[int, int]]:
+        """Unmapped (start, length) gaps inside [logical, logical+count)."""
+        covered = self.lookup_range(logical, count)
+        holes: list[tuple[int, int]] = []
+        cursor = logical
+        for ext in covered:
+            if ext.logical > cursor:
+                holes.append((cursor, ext.logical - cursor))
+            cursor = ext.logical_end
+        end = logical + count
+        if cursor < end:
+            holes.append((cursor, end - cursor))
+        return holes
+
+    # -- mutation -------------------------------------------------------------
+    def insert(self, extent: Extent) -> None:
+        """Insert a new mapping; overlap with an existing extent is an error."""
+        i = bisect_right(self._extents, extent.logical, key=lambda e: e.logical)
+        if i > 0 and self._extents[i - 1].logical_end > extent.logical:
+            raise ExtentError(f"overlap: {extent} vs {self._extents[i - 1]}")
+        if i < len(self._extents) and self._extents[i].logical < extent.logical_end:
+            raise ExtentError(f"overlap: {extent} vs {self._extents[i]}")
+        # Try merging with neighbours.
+        if i > 0 and self._extents[i - 1].abuts(extent):
+            prev = self._extents[i - 1]
+            extent = Extent(prev.logical, prev.physical, prev.length + extent.length, prev.flags)
+            self._extents.pop(i - 1)
+            i -= 1
+        if i < len(self._extents) and extent.abuts(self._extents[i]):
+            nxt = self._extents[i]
+            extent = Extent(extent.logical, extent.physical, extent.length + nxt.length, extent.flags)
+            self._extents.pop(i)
+        self._extents.insert(i, extent)
+
+    def mark_written(self, logical: int, count: int) -> None:
+        """Convert unwritten (preallocated) blocks in the range to written,
+        splitting extents as needed."""
+        if count <= 0:
+            raise ExtentError(f"count must be positive: {count}")
+        end = logical + count
+        i = bisect_right(self._extents, logical, key=lambda e: e.logical) - 1
+        if i < 0:
+            i = 0
+        while i < len(self._extents):
+            ext = self._extents[i]
+            if ext.logical >= end:
+                break
+            if not ext.unwritten or ext.logical_end <= logical:
+                i += 1
+                continue
+            lo = max(ext.logical, logical)
+            hi = min(ext.logical_end, end)
+            pieces: list[Extent] = []
+            if ext.logical < lo:
+                pieces.append(replace(ext, length=lo - ext.logical))
+            pieces.append(
+                Extent(lo, ext.physical + (lo - ext.logical), hi - lo, ExtentFlags.NONE)
+            )
+            if hi < ext.logical_end:
+                pieces.append(
+                    Extent(hi, ext.physical + (hi - ext.logical), ext.logical_end - hi, ext.flags)
+                )
+            self._extents[i : i + 1] = pieces
+            # Re-merge the written piece with its neighbours where possible.
+            j = i + (1 if ext.logical < lo else 0)
+            self._remerge_around(j)
+            i = j + 1
+        return None
+
+    def _remerge_around(self, i: int) -> None:
+        """Merge extent at index ``i`` with abutting neighbours."""
+        if not (0 <= i < len(self._extents)):
+            return
+        # merge left
+        if i > 0 and self._extents[i - 1].abuts(self._extents[i]):
+            prev, cur = self._extents[i - 1], self._extents[i]
+            self._extents[i - 1 : i + 1] = [
+                Extent(prev.logical, prev.physical, prev.length + cur.length, prev.flags)
+            ]
+            i -= 1
+        # merge right
+        if i + 1 < len(self._extents) and self._extents[i].abuts(self._extents[i + 1]):
+            cur, nxt = self._extents[i], self._extents[i + 1]
+            self._extents[i : i + 2] = [
+                Extent(cur.logical, cur.physical, cur.length + nxt.length, cur.flags)
+            ]
+
+    def remove_range(self, logical: int, count: int) -> list[Extent]:
+        """Unmap [logical, logical+count); returns the removed fragments
+        (for the caller to free their physical blocks)."""
+        removed = self.lookup_range(logical, count)
+        if not removed:
+            return []
+        end = logical + count
+        kept: list[Extent] = []
+        for ext in self._extents:
+            if ext.logical_end <= logical or ext.logical >= end:
+                kept.append(ext)
+                continue
+            if ext.logical < logical:
+                kept.append(replace(ext, length=logical - ext.logical))
+            if ext.logical_end > end:
+                kept.append(
+                    Extent(end, ext.physical + (end - ext.logical), ext.logical_end - end, ext.flags)
+                )
+        self._extents = kept
+        return removed
+
+    def clear(self) -> list[Extent]:
+        """Unmap everything; returns the removed extents."""
+        removed = self._extents
+        self._extents = []
+        return removed
+
+    def validate(self) -> None:
+        """Check internal invariants (sorted, non-overlapping, merged)."""
+        for a, b in zip(self._extents, self._extents[1:]):
+            if a.logical_end > b.logical:
+                raise ExtentError(f"overlapping extents: {a} / {b}")
+            if a.abuts(b):
+                raise ExtentError(f"unmerged abutting extents: {a} / {b}")

@@ -1,0 +1,151 @@
+"""Free-space manager: the PAG directory for a whole disk array.
+
+Carves each disk's block range into ``pags_per_disk`` allocation groups and
+routes allocations.  File placement policy (which PAG a file's next stripe
+lands in) lives here; *how much* is allocated and reserved per write is the
+preallocation policy's job (:mod:`repro.alloc`).
+"""
+
+from __future__ import annotations
+
+from repro.block.group import AllocationGroup
+from repro.errors import AllocationError, NoSpaceError
+from repro.sim.metrics import Metrics
+
+
+class FreeSpaceManager:
+    """All allocation groups over a disk array's global block space."""
+
+    def __init__(
+        self,
+        ndisks: int,
+        blocks_per_disk: int,
+        pags_per_disk: int,
+        metrics: Metrics | None = None,
+    ) -> None:
+        if ndisks <= 0 or blocks_per_disk <= 0 or pags_per_disk <= 0:
+            raise AllocationError("geometry parameters must be positive")
+        if blocks_per_disk % pags_per_disk != 0:
+            raise AllocationError(
+                f"blocks_per_disk ({blocks_per_disk}) must be divisible by "
+                f"pags_per_disk ({pags_per_disk})"
+            )
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.ndisks = ndisks
+        self.blocks_per_disk = blocks_per_disk
+        self.pags_per_disk = pags_per_disk
+        group_size = blocks_per_disk // pags_per_disk
+        self.groups: list[AllocationGroup] = []
+        index = 0
+        for disk in range(ndisks):
+            disk_base = disk * blocks_per_disk
+            for g in range(pags_per_disk):
+                self.groups.append(
+                    AllocationGroup(
+                        index=index,
+                        base=disk_base + g * group_size,
+                        size=group_size,
+                        disk_index=disk,
+                    )
+                )
+                index += 1
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def total_blocks(self) -> int:
+        return self.ndisks * self.blocks_per_disk
+
+    @property
+    def free_blocks(self) -> int:
+        return sum(g.free_blocks for g in self.groups)
+
+    @property
+    def used_blocks(self) -> int:
+        return sum(g.used_blocks for g in self.groups)
+
+    @property
+    def utilization(self) -> float:
+        """Used fraction of the whole array (0..1)."""
+        return self.used_blocks / self.total_blocks
+
+    def group_of(self, block: int) -> AllocationGroup:
+        """The group containing global block ``block``."""
+        if not (0 <= block < self.total_blocks):
+            raise AllocationError(f"block out of range: {block}")
+        disk, local = divmod(block, self.blocks_per_disk)
+        group_size = self.blocks_per_disk // self.pags_per_disk
+        return self.groups[disk * self.pags_per_disk + local // group_size]
+
+    def groups_on_disk(self, disk_index: int) -> list[AllocationGroup]:
+        return [g for g in self.groups if g.disk_index == disk_index]
+
+    # -- allocation ---------------------------------------------------------
+    def allocate_in_group(
+        self,
+        group_index: int,
+        count: int,
+        hint: int | None = None,
+        minimum: int | None = None,
+    ) -> tuple[int, int]:
+        """Contiguous allocation of up to ``count`` blocks in one PAG.
+
+        Falls back to sibling groups (same disk first, then others) when the
+        preferred group cannot satisfy even ``minimum`` blocks.
+        """
+        order = self._fallback_order(group_index)
+        last_error: NoSpaceError | None = None
+        for gi in order:
+            group = self.groups[gi]
+            use_hint = hint if gi == group_index else None
+            try:
+                start, got = group.allocate(count, hint=use_hint, minimum=minimum)
+                self.metrics.incr("fsm.allocations")
+                self.metrics.incr("fsm.blocks_allocated", got)
+                if gi != group_index:
+                    self.metrics.incr("fsm.group_fallbacks")
+                return (start, got)
+            except NoSpaceError as exc:
+                last_error = exc
+        raise NoSpaceError(f"array full: {last_error}")
+
+    def allocate_near(
+        self, hint: int, count: int, minimum: int | None = None
+    ) -> tuple[int, int]:
+        """Allocate near a global block hint (group derived from the hint)."""
+        group = self.group_of(hint)
+        return self.allocate_in_group(group.index, count, hint=hint, minimum=minimum)
+
+    def allocate_exact(self, start: int, count: int) -> None:
+        """Allocate exactly [start, start+count); must lie in one group."""
+        group = self.group_of(start)
+        if start + count > group.end:
+            raise AllocationError(
+                f"exact allocation [{start}, {start + count}) crosses group boundary"
+            )
+        group.allocate_exact(start, count)
+        self.metrics.incr("fsm.allocations")
+        self.metrics.incr("fsm.blocks_allocated", count)
+
+    def free(self, start: int, count: int) -> None:
+        """Free [start, start+count); may span group boundaries."""
+        remaining = count
+        cursor = start
+        while remaining > 0:
+            group = self.group_of(cursor)
+            chunk = min(remaining, group.end - cursor)
+            group.release(cursor, chunk)
+            self.metrics.incr("fsm.blocks_freed", chunk)
+            cursor += chunk
+            remaining -= chunk
+
+    def _fallback_order(self, group_index: int) -> list[int]:
+        if not (0 <= group_index < len(self.groups)):
+            raise AllocationError(f"group index out of range: {group_index}")
+        preferred = self.groups[group_index]
+        same_disk = [
+            g.index
+            for g in self.groups
+            if g.disk_index == preferred.disk_index and g.index != group_index
+        ]
+        others = [g.index for g in self.groups if g.disk_index != preferred.disk_index]
+        return [group_index, *same_disk, *others]

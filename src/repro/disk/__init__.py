@@ -1,0 +1,19 @@
+"""Disk substrate: service-time model, simulated spindles, schedulers,
+buffer cache with readahead, and striped disk arrays."""
+
+from repro.disk.model import BlockRequest, ServiceTimeModel
+from repro.disk.disk import SimulatedDisk
+from repro.disk.scheduler import FifoScheduler, ElevatorScheduler, make_scheduler
+from repro.disk.cache import BufferCache
+from repro.disk.array import DiskArray
+
+__all__ = [
+    "BlockRequest",
+    "ServiceTimeModel",
+    "SimulatedDisk",
+    "FifoScheduler",
+    "ElevatorScheduler",
+    "make_scheduler",
+    "BufferCache",
+    "DiskArray",
+]

@@ -1,0 +1,95 @@
+"""Striped disk array (the shared-disk JBOD behind Redbud's PAGs).
+
+Global block address space is disk-major: disk ``d`` owns global blocks
+``[d * blocks_per_disk, (d+1) * blocks_per_disk)``.  Parallel allocation
+groups (PAGs) are carved out of this space so that each PAG lies entirely on
+one spindle — a physically contiguous global run is then contiguous on its
+disk, which is what makes contiguity matter.
+
+Each disk keeps its own busy-time timeline; a phase's elapsed time is the
+maximum over disks, modelling spindles that work in parallel.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.config import DiskParams, SchedulerParams
+from repro.disk.disk import SimulatedDisk
+from repro.disk.model import BlockRequest
+from repro.errors import SimulationError
+from repro.sim.metrics import Metrics
+
+
+class DiskArray:
+    """N identical simulated disks behind one global block address space."""
+
+    def __init__(
+        self,
+        ndisks: int,
+        disk_params: DiskParams,
+        scheduler_params: SchedulerParams | None = None,
+        metrics: Metrics | None = None,
+    ) -> None:
+        if ndisks <= 0:
+            raise SimulationError(f"ndisks must be positive: {ndisks}")
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.disk_params = disk_params
+        self.disks = [
+            SimulatedDisk(disk_params, scheduler_params, self.metrics, name=f"disk{d}")
+            for d in range(ndisks)
+        ]
+        self.blocks_per_disk = disk_params.capacity_blocks
+
+    @property
+    def ndisks(self) -> int:
+        return len(self.disks)
+
+    @property
+    def total_blocks(self) -> int:
+        """Capacity of the whole array in global blocks."""
+        return self.ndisks * self.blocks_per_disk
+
+    def locate(self, global_block: int) -> tuple[int, int]:
+        """Translate a global block number to ``(disk index, local block)``."""
+        if not (0 <= global_block < self.total_blocks):
+            raise SimulationError(f"global block out of range: {global_block}")
+        return divmod(global_block, self.blocks_per_disk)
+
+    def submit_batch(self, requests: Sequence[BlockRequest]) -> float:
+        """Service a batch of concurrently outstanding global requests.
+
+        Requests are split per disk and each disk services its share on its
+        own timeline.  Returns the batch's wall time: the maximum per-disk
+        batch time (disks run in parallel).
+        """
+        if not requests:
+            return 0.0
+        per_disk: dict[int, list[BlockRequest]] = {}
+        for req in requests:
+            disk_idx, local = self.locate(req.start)
+            if local + req.nblocks > self.blocks_per_disk:
+                raise SimulationError(
+                    f"request [{req.start}, {req.start + req.nblocks}) spans disks"
+                )
+            per_disk.setdefault(disk_idx, []).append(
+                BlockRequest(local, req.nblocks, req.is_write)
+            )
+        return max(
+            self.disks[idx].submit_batch(batch) for idx, batch in per_disk.items()
+        )
+
+    @property
+    def elapsed_s(self) -> float:
+        """Wall time of all work so far: the busiest disk's timeline."""
+        return max(d.busy_s for d in self.disks)
+
+    @property
+    def total_busy_s(self) -> float:
+        """Sum of per-disk busy seconds (utilization accounting)."""
+        return sum(d.busy_s for d in self.disks)
+
+    def reset_timelines(self) -> None:
+        """Zero all disk timelines (between experiment phases)."""
+        for d in self.disks:
+            d.reset_timeline()

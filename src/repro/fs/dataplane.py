@@ -1,0 +1,271 @@
+"""Data plane: striped, extent-mapped files over PAGs and a disk array.
+
+The plane performs the *mapping* half of every data operation — allocation
+policy calls, extent-map updates — and returns the physical
+:class:`~repro.disk.model.BlockRequest` lists for the caller to time against
+the disk array.  Separating mapping from timing keeps both halves
+independently testable and lets experiment runners batch concurrent streams'
+requests the way an I/O scheduler would see them.
+"""
+
+from __future__ import annotations
+
+from repro.alloc.base import AllocTarget, PhysicalRun
+from repro.alloc.registry import make_policy
+from repro.block.extent import Extent, ExtentFlags
+from repro.block.freespace import FreeSpaceManager
+from repro.config import FSConfig
+from repro.disk.array import DiskArray
+from repro.disk.model import BlockRequest
+from repro.errors import ConfigError, ReproError
+from repro.fs.file import RedbudFile
+from repro.fs.stream import StreamId
+from repro.sim.metrics import Metrics
+from repro.units import block_span, bytes_to_blocks
+
+
+class DataPlane:
+    """File data path: create/write/read/fsync/delete over striped PAGs."""
+
+    def __init__(self, config: FSConfig, metrics: Metrics | None = None) -> None:
+        self.config = config
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.array = DiskArray(
+            config.ndisks, config.disk, config.scheduler, self.metrics
+        )
+        self.fsm = FreeSpaceManager(
+            config.ndisks,
+            config.disk.capacity_blocks,
+            config.pags_per_disk,
+            self.metrics,
+        )
+        self.policy = make_policy(config.alloc, self.fsm, self.metrics)
+        self._files: dict[int, RedbudFile] = {}
+        self._next_file_id = 1
+
+    @property
+    def block_size(self) -> int:
+        return self.config.disk.block_size
+
+    # -- lifecycle -----------------------------------------------------------
+    def create_file(
+        self,
+        name: str,
+        expected_bytes: int | None = None,
+        width: int | None = None,
+    ) -> RedbudFile:
+        """Create a file striped over ``width`` disks (default: all).
+
+        Under the static policy a declared ``expected_bytes`` is fallocated
+        immediately, exactly like the paper's "static preallocation" mode.
+        """
+        file_id = self._next_file_id
+        self._next_file_id += 1
+        w = self.config.ndisks if width is None else width
+        if not (1 <= w <= self.config.ndisks):
+            raise ConfigError(f"stripe width out of range: {w}")
+        first_disk = file_id % self.config.ndisks
+        pag_rotor = file_id % self.config.pags_per_disk
+        layout = [
+            ((first_disk + j) % self.config.ndisks) * self.config.pags_per_disk + pag_rotor
+            for j in range(w)
+        ]
+        f = RedbudFile(
+            file_id=file_id,
+            name=name,
+            layout=layout,
+            stripe_blocks=self.config.stripe_blocks,
+            expected_bytes=expected_bytes,
+        )
+        self._files[file_id] = f
+        self.metrics.incr("fs.files_created")
+        if expected_bytes is not None:
+            # Policies without persistent whole-file preallocation return
+            # no runs from prepare(), making this a no-op for them.
+            self.fallocate(f, expected_bytes)
+        return f
+
+    def fallocate(self, f: RedbudFile, nbytes: int) -> None:
+        """Persistently preallocate ``nbytes`` (only meaningful for policies
+        implementing :meth:`~repro.alloc.base.AllocationPolicy.prepare`)."""
+        self._check_live(f)
+        total_blocks = bytes_to_blocks(nbytes, self.block_size)
+        for slot in range(f.width):
+            dlocal_blocks = self._slot_share(f, total_blocks, slot)
+            if dlocal_blocks == 0:
+                continue
+            runs = self.policy.prepare(f.file_id, self._target(f, slot), dlocal_blocks)
+            for run in runs:
+                f.maps[slot].insert(
+                    Extent(run.dlocal, run.physical, run.length, ExtentFlags.UNWRITTEN)
+                )
+
+    def delete_file(self, f: RedbudFile) -> None:
+        """Free all mapped blocks and drop reservations."""
+        self._check_live(f)
+        self.policy.on_delete(f.file_id)
+        for m in f.maps:
+            for ext in m.clear():
+                self.fsm.free(ext.physical, ext.length)
+        f.deleted = True
+        del self._files[f.file_id]
+        self.metrics.incr("fs.files_deleted")
+
+    def close_file(self, f: RedbudFile) -> list[BlockRequest]:
+        """Release temporary reservations; flush delayed writes."""
+        self._check_live(f)
+        requests = self.fsync(f)
+        self.policy.release(f.file_id)
+        return requests
+
+    # -- I/O ----------------------------------------------------------------
+    def write(
+        self, f: RedbudFile, stream: StreamId, offset: int, nbytes: int
+    ) -> list[BlockRequest]:
+        """Map a write and return its physical requests.
+
+        Under delayed allocation an extending write may return no requests
+        (data buffered); :meth:`fsync` materializes it.
+        """
+        self._check_live(f)
+        if nbytes <= 0:
+            raise ReproError(f"write of {nbytes} bytes")
+        lb, nb = block_span(offset, nbytes, self.block_size)
+        requests: list[BlockRequest] = []
+        for slot, dstart, dcount in f.segments(lb, nb):
+            smap = f.maps[slot]
+            if self.policy.cow:
+                # Copy-on-write: overwrites are relocated — unmap and free
+                # any written blocks in range so they reallocate below.
+                for ext in smap.remove_range(dstart, dcount):
+                    self.fsm.free(ext.physical, ext.length)
+                    self.metrics.incr("fs.cow_relocated_blocks", ext.length)
+            holes = smap.holes_in_range(dstart, dcount)
+            smap.mark_written(dstart, dcount)
+            buffered = False
+            for h_start, h_count in holes:
+                runs = self.policy.allocate(
+                    f.file_id, stream, self._target(f, slot), h_start, h_count
+                )
+                if not runs:
+                    buffered = True  # delayed allocation
+                    continue
+                self._insert_runs(smap, runs)
+            for ext in smap.lookup_range(dstart, dcount):
+                if not ext.unwritten:
+                    requests.append(BlockRequest(ext.physical, ext.length, is_write=True))
+            if buffered:
+                self.metrics.incr("fs.buffered_writes")
+        f.size_bytes = max(f.size_bytes, offset + nbytes)
+        self.metrics.incr("fs.writes")
+        self.metrics.incr("fs.bytes_written", nbytes)
+        return requests
+
+    def read(self, f: RedbudFile, offset: int, nbytes: int) -> list[BlockRequest]:
+        """Map a read and return its physical requests (holes read as zeros
+        and cost nothing)."""
+        self._check_live(f)
+        if nbytes <= 0:
+            raise ReproError(f"read of {nbytes} bytes")
+        lb, nb = block_span(offset, nbytes, self.block_size)
+        requests: list[BlockRequest] = []
+        for slot, dstart, dcount in f.segments(lb, nb):
+            for ext in f.maps[slot].lookup_range(dstart, dcount):
+                if not ext.unwritten:
+                    requests.append(BlockRequest(ext.physical, ext.length, is_write=False))
+        self.metrics.incr("fs.reads")
+        self.metrics.incr("fs.bytes_read", nbytes)
+        return requests
+
+    def fsync(self, f: RedbudFile) -> list[BlockRequest]:
+        """Materialize delayed-allocation buffers; returns their writes."""
+        self._check_live(f)
+        requests: list[BlockRequest] = []
+        for target, runs in self.policy.flush(f.file_id):
+            slot = self._slot_of_target(f, target)
+            self._insert_runs(f.maps[slot], runs)
+            for run in runs:
+                requests.append(BlockRequest(run.physical, run.length, is_write=True))
+        if requests:
+            self.metrics.incr("fs.delayed_flush_requests", len(requests))
+        return requests
+
+    # -- crash recovery -----------------------------------------------------------
+    def crash_recover(self) -> int:
+        """Simulate a crash and recovery (§III.A durability semantics).
+
+        Persistent state survives: extent maps (they live at the MDS) and
+        the blocks they own.  *Volatile* allocator state dies: sequential
+        windows' temporary reservations, per-inode reservation pools and
+        delayed-allocation buffers are all in-memory, so recovery rebuilds
+        the free-space books from the extent maps alone — any block not
+        mapped by a file is free again.  Current-window blocks that were
+        already handed to files are mapped, hence "persistent across
+        reboots" as §III.A requires.
+
+        Returns the number of blocks reclaimed from volatile state.
+        """
+        free_before = self.fsm.free_blocks
+        # Rebuild free space: start fresh, then re-allocate exactly the
+        # mapped extents.
+        self.fsm = FreeSpaceManager(
+            self.config.ndisks,
+            self.config.disk.capacity_blocks,
+            self.config.pags_per_disk,
+            self.metrics,
+        )
+        for f in self._files.values():
+            for smap in f.maps:
+                for ext in smap:
+                    self.fsm.allocate_exact(ext.physical, ext.length)
+        # The allocator restarts cold: windows, pools and buffers are gone.
+        self.policy = make_policy(self.config.alloc, self.fsm, self.metrics)
+        reclaimed = self.fsm.free_blocks - free_before
+        self.metrics.incr("fs.crash_recoveries")
+        self.metrics.incr("fs.recovered_blocks", max(0, reclaimed))
+        return reclaimed
+
+    # -- introspection ----------------------------------------------------------
+    def files(self) -> list[RedbudFile]:
+        return list(self._files.values())
+
+    def total_extents(self) -> int:
+        """Sum of extent counts over live files (Table I)."""
+        return sum(f.extent_count for f in self._files.values())
+
+    @property
+    def utilization(self) -> float:
+        return self.fsm.utilization
+
+    # -- internals ----------------------------------------------------------
+    def _target(self, f: RedbudFile, slot: int) -> AllocTarget:
+        return AllocTarget(
+            group_index=f.layout[slot],
+            slot=slot,
+            width=f.width,
+            stripe_blocks=f.stripe_blocks,
+        )
+
+    def _slot_of_target(self, f: RedbudFile, target: AllocTarget) -> int:
+        return target.slot
+
+    def _insert_runs(self, smap, runs: list[PhysicalRun]) -> None:
+        for run in runs:
+            flags = ExtentFlags.UNWRITTEN if run.unwritten else ExtentFlags.NONE
+            smap.insert(Extent(run.dlocal, run.physical, run.length, flags))
+
+    def _slot_share(self, f: RedbudFile, total_blocks: int, slot: int) -> int:
+        """Blocks of a ``total_blocks``-file landing on rotation slot ``slot``."""
+        sb = f.stripe_blocks
+        full_stripes, tail = divmod(total_blocks, sb)
+        rounds, extra = divmod(full_stripes, f.width)
+        share = rounds * sb
+        if slot < extra:
+            share += sb
+        elif slot == extra:
+            share += tail
+        return share
+
+    def _check_live(self, f: RedbudFile) -> None:
+        if f.deleted or f.file_id not in self._files:
+            raise ReproError(f"operation on deleted file: {f.name!r}")

@@ -1,0 +1,108 @@
+"""Regular-file representation on the data plane.
+
+Following the layout model of object/block parallel file systems (Lustre
+objects, pNFS block extents), a file's data is striped over a rotation of
+PAGs and **each rotation slot keeps its own extent map** in a dense local
+("dlocal") coordinate space.  A client stream writing sequentially appears
+sequential to every slot, so per-slot extents merge; Table I's segment count
+is the sum of per-slot extent counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.block.extent import ExtentMap
+from repro.errors import ConfigError
+
+
+@dataclass
+class RedbudFile:
+    """A regular file on the data plane."""
+
+    file_id: int
+    name: str
+    #: PAG indices, one per rotation slot (stripe ``s`` lands on slot
+    #: ``s % width``).
+    layout: list[int]
+    stripe_blocks: int
+    #: Per-slot extent maps, dlocal -> global physical.
+    maps: list[ExtentMap] = field(default_factory=list)
+    size_bytes: int = 0
+    #: Declared size for fallocate-style preallocation (None = unknown).
+    expected_bytes: int | None = None
+    deleted: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.layout:
+            raise ConfigError("file layout must name at least one PAG")
+        if self.stripe_blocks <= 0:
+            raise ConfigError(f"stripe_blocks must be positive: {self.stripe_blocks}")
+        if not self.maps:
+            self.maps = [ExtentMap() for _ in self.layout]
+        if len(self.maps) != len(self.layout):
+            raise ConfigError("one extent map per layout slot required")
+
+    @property
+    def width(self) -> int:
+        """Stripe width (number of rotation slots)."""
+        return len(self.layout)
+
+    @property
+    def extent_count(self) -> int:
+        """Total extents over all slots — Table I's "Seg Counts"."""
+        return sum(m.extent_count for m in self.maps)
+
+    @property
+    def mapped_blocks(self) -> int:
+        return sum(m.mapped_blocks for m in self.maps)
+
+    @property
+    def written_blocks(self) -> int:
+        return sum(m.written_blocks for m in self.maps)
+
+    # -- striping arithmetic ---------------------------------------------------
+    def slot_of(self, logical_block: int) -> int:
+        """Rotation slot holding file block ``logical_block``."""
+        if logical_block < 0:
+            raise ConfigError(f"negative logical block: {logical_block}")
+        return (logical_block // self.stripe_blocks) % self.width
+
+    def to_dlocal(self, logical_block: int) -> tuple[int, int]:
+        """Translate a file block to ``(slot, dlocal block)``."""
+        if logical_block < 0:
+            raise ConfigError(f"negative logical block: {logical_block}")
+        stripe, offset = divmod(logical_block, self.stripe_blocks)
+        slot = stripe % self.width
+        dlocal = (stripe // self.width) * self.stripe_blocks + offset
+        return (slot, dlocal)
+
+    def to_logical(self, slot: int, dlocal: int) -> int:
+        """Inverse of :meth:`to_dlocal`."""
+        if not (0 <= slot < self.width):
+            raise ConfigError(f"slot out of range: {slot}")
+        if dlocal < 0:
+            raise ConfigError(f"negative dlocal block: {dlocal}")
+        round_, offset = divmod(dlocal, self.stripe_blocks)
+        stripe = round_ * self.width + slot
+        return stripe * self.stripe_blocks + offset
+
+    def segments(self, logical_block: int, count: int) -> list[tuple[int, int, int]]:
+        """Split a file block range into per-stripe-unit segments.
+
+        Returns ``(slot, dlocal start, length)`` triples in logical order;
+        each segment lies inside one stripe unit, so its dlocal range is
+        contiguous.
+        """
+        if count <= 0:
+            raise ConfigError(f"count must be positive: {count}")
+        out: list[tuple[int, int, int]] = []
+        cursor = logical_block
+        end = logical_block + count
+        while cursor < end:
+            stripe_end = (cursor // self.stripe_blocks + 1) * self.stripe_blocks
+            chunk = min(end, stripe_end) - cursor
+            slot, dlocal = self.to_dlocal(cursor)
+            out.append((slot, dlocal, chunk))
+            cursor += chunk
+        return out

@@ -1,0 +1,59 @@
+"""System profiles matching the paper's three compared systems (§V).
+
+All three run on the same simulated hardware; they differ exactly where the
+paper says they differ:
+
+- **Redbud (original)** — traditional data placement: per-inode reservation
+  preallocation, normal directory layout on an ext3-style MFS (linear
+  dentry scans, no Htree).
+- **Lustre 1.6.6** — ext4-based: same reservation preallocation and normal
+  directory layout, plus ext4's Htree lookup index at the MDS (the paper's
+  Fig. 9 explanation for Lustre's lookup edge).
+- **Redbud + MiF** — on-demand preallocation and the embedded directory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.config import AllocPolicyParams, FSConfig, MetaParams
+
+
+def redbud_vanilla_profile(ndisks: int = 5, **overrides: object) -> FSConfig:
+    """The paper's original Redbud baseline."""
+    return FSConfig(
+        name="redbud-orig",
+        ndisks=ndisks,
+        alloc=AllocPolicyParams(policy="reservation"),
+        meta=MetaParams(layout="normal", htree_index=False),
+        **overrides,  # type: ignore[arg-type]
+    )
+
+
+def lustre_profile(ndisks: int = 5, **overrides: object) -> FSConfig:
+    """Lustre-like baseline (ext4 MDS: reservation + Htree)."""
+    return FSConfig(
+        name="lustre",
+        ndisks=ndisks,
+        alloc=AllocPolicyParams(policy="reservation"),
+        meta=MetaParams(layout="normal", htree_index=True),
+        **overrides,  # type: ignore[arg-type]
+    )
+
+
+def redbud_mif_profile(ndisks: int = 5, **overrides: object) -> FSConfig:
+    """Redbud with both MiF techniques enabled."""
+    return FSConfig(
+        name="redbud-mif",
+        ndisks=ndisks,
+        alloc=AllocPolicyParams(policy="ondemand"),
+        meta=MetaParams(layout="embedded", htree_index=False),
+        **overrides,  # type: ignore[arg-type]
+    )
+
+
+def with_alloc_policy(config: FSConfig, policy: str, **alloc_overrides: object) -> FSConfig:
+    """Copy a profile with a different preallocation policy (micro-benchmark
+    sweeps compare reservation / static / on-demand on identical hardware)."""
+    alloc = replace(config.alloc, policy=policy, **alloc_overrides)  # type: ignore[arg-type]
+    return replace(config, alloc=alloc, name=f"{config.name}:{policy}")

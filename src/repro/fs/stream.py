@@ -1,0 +1,38 @@
+"""Write-stream identification.
+
+§III.A: "file allocator can distinguish the write streams using stream ID,
+which is constructed by combining the client ID and the thread PID on
+client."  We pack both into one integer.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+#: A stream id is an opaque non-negative integer.
+StreamId = int
+
+_PID_BITS = 20
+_PID_MASK = (1 << _PID_BITS) - 1
+
+
+def make_stream_id(client_id: int, pid: int) -> StreamId:
+    """Pack (client id, thread pid) into a stream id.
+
+    >>> make_stream_id(0, 0)
+    0
+    >>> split_stream_id(make_stream_id(3, 41))
+    (3, 41)
+    """
+    if client_id < 0 or pid < 0:
+        raise ConfigError(f"client_id and pid must be >= 0: {client_id}, {pid}")
+    if pid > _PID_MASK:
+        raise ConfigError(f"pid too large: {pid}")
+    return (client_id << _PID_BITS) | pid
+
+
+def split_stream_id(stream_id: StreamId) -> tuple[int, int]:
+    """Unpack a stream id into (client id, thread pid)."""
+    if stream_id < 0:
+        raise ConfigError(f"stream id must be >= 0: {stream_id}")
+    return (stream_id >> _PID_BITS, stream_id & _PID_MASK)

@@ -1,0 +1,175 @@
+"""Online consistency checking (fsck) for the simulated file system.
+
+Validates the cross-layer invariants the allocator work depends on:
+
+- **Data plane**: every file extent maps to blocks the free-space manager
+  considers used; no two extents (within or across files) share a physical
+  block; per-slot extent maps are structurally valid; accounting adds up
+  (used == mapped + policy-held reservations).
+- **Metadata plane**: every inode's home block lies in a valid region for
+  its layout; directory content runs don't overlap; the global directory
+  table resolves every embedded directory.
+
+Tests and long-running experiments call :func:`check_dataplane` /
+:func:`check_mds` after churn to catch leaks and double allocations early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fs.dataplane import DataPlane
+from repro.meta.embedded_layout import EmbeddedLayout
+from repro.meta.mds import MetadataServer
+from repro.meta.normal_layout import NormalLayout
+
+
+@dataclass
+class FsckReport:
+    """Findings of one consistency pass."""
+
+    errors: list[str] = field(default_factory=list)
+    checked_extents: int = 0
+    checked_inodes: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.errors
+
+    def error(self, message: str) -> None:
+        self.errors.append(message)
+
+    def raise_if_dirty(self) -> None:
+        if self.errors:
+            raise AssertionError(
+                f"fsck found {len(self.errors)} problems:\n" + "\n".join(self.errors)
+            )
+
+
+def check_dataplane(plane: DataPlane, strict_accounting: bool = True) -> FsckReport:
+    """Verify data-plane invariants; returns the report (never raises)."""
+    report = FsckReport()
+    owner: dict[int, str] = {}
+    mapped_blocks = 0
+    for f in plane.files():
+        for slot, smap in enumerate(f.maps):
+            try:
+                smap.validate()
+            except Exception as exc:  # structural corruption
+                report.error(f"{f.name} slot {slot}: invalid extent map: {exc}")
+                continue
+            for ext in smap:
+                report.checked_extents += 1
+                mapped_blocks += ext.length
+                group = None
+                try:
+                    group = plane.fsm.group_of(ext.physical)
+                except Exception:
+                    report.error(
+                        f"{f.name} slot {slot}: extent {ext} outside the array"
+                    )
+                    continue
+                if ext.physical_end > group.end:
+                    report.error(
+                        f"{f.name} slot {slot}: extent {ext} crosses its PAG"
+                    )
+                if group.index != f.layout[slot]:
+                    report.error(
+                        f"{f.name} slot {slot}: extent {ext} in PAG {group.index}, "
+                        f"layout says {f.layout[slot]}"
+                    )
+                for b in range(ext.physical, ext.physical_end):
+                    prior = owner.get(b)
+                    if prior is not None:
+                        report.error(
+                            f"block {b} owned by both {prior} and {f.name}#{slot}"
+                        )
+                        break
+                    owner[b] = f"{f.name}#{slot}"
+                if plane.fsm.group_of(ext.physical).free.is_free(ext.physical, 1):
+                    report.error(
+                        f"{f.name} slot {slot}: extent {ext} maps free blocks"
+                    )
+    if strict_accounting:
+        held = plane.fsm.used_blocks - mapped_blocks
+        if held < 0:
+            report.error(
+                f"accounting: mapped {mapped_blocks} blocks exceed used "
+                f"{plane.fsm.used_blocks}"
+            )
+    return report
+
+
+def check_mds(mds: MetadataServer) -> FsckReport:
+    """Verify metadata-plane invariants; returns the report."""
+    report = FsckReport()
+    layout = mds.layout
+    if isinstance(layout, EmbeddedLayout):
+        _check_embedded(layout, report)
+    elif isinstance(layout, NormalLayout):
+        _check_normal(layout, report)
+    return report
+
+
+def _check_embedded(layout: EmbeddedLayout, report: FsckReport) -> None:
+    content_owner: dict[int, int] = {}
+    for d in layout._dirs.values():
+        for start, count in d.content_runs:
+            for b in range(start, start + count):
+                prior = content_owner.get(b)
+                if prior is not None:
+                    report.error(
+                        f"content block {b} owned by dirs {prior} and {d.dir_id}"
+                    )
+                content_owner[b] = d.dir_id
+        if d.dir_id not in layout.gdt:
+            report.error(f"directory {d.dir_id} missing from the directory table")
+        for name, ino in d.entries.items():
+            report.checked_inodes += 1
+            try:
+                inode = layout.inode_by_number(ino)
+            except Exception:
+                report.error(f"dir {d.dir_id}: entry {name!r} -> dangling inode {ino}")
+                continue
+            if not inode.is_dir and inode.home_block not in content_owner:
+                report.error(
+                    f"inode {ino} ({name!r}) home block {inode.home_block} "
+                    f"outside any directory content"
+                )
+            if inode.name != name:
+                report.error(
+                    f"inode {ino}: name {inode.name!r} != entry name {name!r}"
+                )
+    # Every live directory id must resolve through the table.
+    for d in layout._dirs.values():
+        try:
+            layout.gdt.dir_ino_of(d.dir_id)
+        except Exception:
+            report.error(f"directory table cannot resolve dir {d.dir_id}")
+
+
+def _check_normal(layout: NormalLayout, report: FsckReport) -> None:
+    mfs = layout.mfs
+    for d in layout._dirs.values():
+        if len(d.dentry_blocks) != len(d.fill):
+            report.error(f"dir {d.ino}: dentry-block/fill length mismatch")
+        occupancy = sum(d.fill)
+        if occupancy != len(d.entries):
+            report.error(
+                f"dir {d.ino}: fill says {occupancy} entries, map has {len(d.entries)}"
+            )
+        for name, ino in d.entries.items():
+            report.checked_inodes += 1
+            try:
+                inode = layout.inode_by_number(ino)
+            except Exception:
+                report.error(f"dir {d.ino}: entry {name!r} -> dangling inode {ino}")
+                continue
+            expected_block, expected_slot = mfs.itable_block_of(ino)
+            if (inode.home_block, inode.home_slot) != (expected_block, expected_slot):
+                report.error(
+                    f"inode {ino}: home {inode.home_block}/{inode.home_slot} != "
+                    f"itable {expected_block}/{expected_slot}"
+                )
+            if d.entry_block.get(name) not in d.dentry_blocks:
+                report.error(f"dir {d.ino}: entry {name!r} in unknown dentry block")

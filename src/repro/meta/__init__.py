@@ -1,0 +1,30 @@
+"""Metadata substrate (§IV): inodes, inode numbering with the global
+directory table, the MDS's metadata file system, the two directory layouts
+(normal vs embedded), journaling and the metadata server."""
+
+from repro.meta.inode import Inode
+from repro.meta.inumber import (
+    GlobalDirectoryTable,
+    decode_ino,
+    encode_ino,
+)
+from repro.meta.journal import Journal
+from repro.meta.mfs import MetadataFS
+from repro.meta.layout import AccessPlan, DirectoryLayout
+from repro.meta.normal_layout import NormalLayout
+from repro.meta.embedded_layout import EmbeddedLayout
+from repro.meta.mds import MetadataServer
+
+__all__ = [
+    "Inode",
+    "GlobalDirectoryTable",
+    "encode_ino",
+    "decode_ino",
+    "Journal",
+    "MetadataFS",
+    "AccessPlan",
+    "DirectoryLayout",
+    "NormalLayout",
+    "EmbeddedLayout",
+    "MetadataServer",
+]

@@ -1,0 +1,48 @@
+"""In-memory inode records.
+
+The simulator does not serialize inode bytes; what matters for the paper's
+results is *where* each inode's on-disk bytes live (``home_block``) and how
+many layout-mapping records it carries (``extent_records`` — §IV.A stuffs
+them in the inode tail and spills to extra blocks when they overflow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MetadataError
+
+
+@dataclass
+class Inode:
+    """One file or directory inode at the MDS."""
+
+    ino: int
+    is_dir: bool
+    name: str
+    parent_dir_id: int
+    #: MDS-disk block where the inode's bytes live (itable block in the
+    #: normal layout, directory-content block in the embedded layout).
+    home_block: int
+    #: Slot index within the home block.
+    home_slot: int
+    size: int = 0
+    nlink: int = 1
+    mtime: float = 0.0
+    ctime: float = 0.0
+    #: Layout-mapping records (data-plane extents for files).
+    extent_records: int = 0
+    #: MDS-disk blocks holding spilled mapping records (§IV.A "extra
+    #: blocks"), in order.
+    spill_blocks: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.ino < 0:
+            raise MetadataError(f"negative inode number: {self.ino}")
+        if self.home_block < 0 or self.home_slot < 0:
+            raise MetadataError(f"invalid inode home: {self}")
+
+    def touch(self, now: float) -> None:
+        """Update timestamps (utime/setattr)."""
+        self.mtime = now
+        self.ctime = now

@@ -1,0 +1,219 @@
+"""Metadata server.
+
+Executes the directory layout's :class:`~repro.meta.layout.AccessPlan`
+footprints against one MDS disk: reads go through the buffer cache (with
+readahead), every mutating operation commits a journal record sequentially
+(the paper's synchronous-writes Metarates configuration), and dirtied home
+blocks are flushed by periodic checkpoints — "the reduction of disk access
+counts mainly comes from the checkpoint operations" (§V.D.1).
+
+The server is the unit of timing for all metadata benchmarks: its elapsed
+time is disk busy time + per-operation CPU charges + per-request protocol
+overhead (paid once for aggregated pairs like readdir-stat).
+"""
+
+from __future__ import annotations
+
+from repro.config import FSConfig
+from repro.disk.cache import BufferCache
+from repro.disk.disk import SimulatedDisk
+from repro.disk.model import BlockRequest
+from repro.errors import ConfigError
+from repro.meta.embedded_layout import EmbeddedLayout
+from repro.meta.inode import Inode
+from repro.meta.journal import Journal
+from repro.meta.layout import AccessPlan
+from repro.meta.mfs import MetadataFS
+from repro.meta.normal_layout import NormalLayout
+from repro.sim.metrics import Metrics
+
+
+class MetadataServer:
+    """One MDS: layout + MFS + journal + cache over a single disk."""
+
+    def __init__(self, config: FSConfig, metrics: Metrics | None = None) -> None:
+        self.config = config
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.disk = SimulatedDisk(
+            config.mds_disk, config.scheduler, self.metrics, name="mds"
+        )
+        self.cache = BufferCache(config.cache, self.disk, self.metrics)
+        self.mfs = MetadataFS(config.meta, config.mds_disk)
+        self.journal = Journal(self.mfs.journal_base, config.meta.journal_blocks)
+        if config.meta.layout == "embedded":
+            self.layout: EmbeddedLayout | NormalLayout = EmbeddedLayout(
+                config.meta, self.mfs
+            )
+        elif config.meta.layout == "normal":
+            self.layout = NormalLayout(config.meta, self.mfs)
+        else:  # pragma: no cover - guarded by MetaParams validation
+            raise ConfigError(f"unknown layout {config.meta.layout!r}")
+        self._cpu_s = 0.0
+        self._overhead_s = 0.0
+        self._dirty: set[int] = set()
+        self._ops_since_ckpt = 0
+        self.ops = 0
+        # Redo log: home blocks dirtied by each journaled record since the
+        # last checkpoint, in commit order (what crash recovery replays).
+        self._redo: list[list[int]] = []
+
+    # -- timing --------------------------------------------------------------
+    @property
+    def elapsed_s(self) -> float:
+        """Serialized MDS time: disk + CPU + protocol overhead."""
+        return self.disk.busy_s + self._cpu_s + self._overhead_s
+
+    @property
+    def cpu_s(self) -> float:
+        return self._cpu_s
+
+    @property
+    def root(self):
+        return self.layout.root
+
+    # -- operations ---------------------------------------------------------
+    def mkdir(self, parent, name: str):
+        d, plan = self.layout.create_dir(parent, name, self._now())
+        self._execute(plan, "mkdir")
+        return d
+
+    def create(self, parent, name: str) -> Inode:
+        inode, plan = self.layout.create_file(parent, name, self._now())
+        self._execute(plan, "create")
+        return inode
+
+    def delete(self, parent, name: str) -> None:
+        plan = self.layout.delete_file(parent, name)
+        self._execute(plan, "delete")
+
+    def utime(self, parent, name: str) -> None:
+        plan = self.layout.utime(parent, name, self._now())
+        self._execute(plan, "utime")
+
+    def stat(self, parent, name: str) -> Inode:
+        inode, plan = self.layout.stat(parent, name)
+        self._execute(plan, "stat")
+        return inode
+
+    def readdir(self, parent) -> list[str]:
+        names, plan = self.layout.readdir(parent)
+        self._execute(plan, "readdir")
+        return names
+
+    def readdir_stat(self, parent) -> list[Inode]:
+        """Aggregated readdirplus: one MDS request for the whole directory."""
+        inodes, plan = self.layout.readdir_stat(parent)
+        self._execute(plan, "readdir_stat")
+        return inodes
+
+    def readdir_then_stats(self, parent) -> list[Inode]:
+        """Non-aggregated baseline: a readdir followed by one stat request
+        per entry (n+1 protocol round trips)."""
+        names, plan = self.layout.readdir(parent)
+        self._execute(plan, "readdir")
+        out = []
+        for name in names:
+            out.append(self.stat(parent, name))
+        return out
+
+    def open_getlayout(self, parent, name: str) -> Inode:
+        """Aggregated open+getlayout pair (pNFS/Lustre style): inode plus
+        all mapping blocks in one request."""
+        inode, plan = self.layout.getlayout(parent, name)
+        self._execute(plan, "open_getlayout")
+        return inode
+
+    def set_extent_records(self, parent, name: str, count: int) -> None:
+        plan = self.layout.set_extent_records(parent, name, count)
+        self._execute(plan, "set_extent_records")
+
+    def rename(self, src_dir, src_name: str, dst_dir, dst_name: str) -> None:
+        plan = self.layout.rename(src_dir, src_name, dst_dir, dst_name, self._now())
+        self._execute(plan, "rename")
+
+    # -- maintenance -----------------------------------------------------------
+    def checkpoint(self) -> int:
+        """Flush dirty home blocks; returns the number of dirty blocks."""
+        if not self._dirty:
+            self._ops_since_ckpt = 0
+            return 0
+        requests = [BlockRequest(b, 1, is_write=True) for b in sorted(self._dirty)]
+        self.disk.submit_batch(requests)
+        for b in self._dirty:
+            self.cache._insert(b, 1)
+        flushed = len(self._dirty)
+        self._dirty.clear()
+        self._ops_since_ckpt = 0
+        self._redo.clear()  # checkpointed state needs no replay
+        self.metrics.incr("mds.checkpoints")
+        self.metrics.incr("mds.checkpoint_blocks", flushed)
+        return flushed
+
+    def flush(self) -> None:
+        """Final checkpoint (end of a workload phase)."""
+        self.checkpoint()
+
+    def drop_caches(self) -> None:
+        """Cold-cache boundary between experiment phases."""
+        self.cache.drop()
+
+    def crash_recover(self) -> int:
+        """Simulate an MDS crash and journal-replay recovery.
+
+        The buffer cache and the in-memory dirty set are lost; committed
+        journal records since the last checkpoint are replayed — each
+        replay reads the record's journal block and re-dirties its home
+        blocks — followed by a recovery checkpoint.  Synchronous journaling
+        means no committed operation is lost (the paper's Metarates
+        configuration relies on exactly this).  Returns the number of
+        records replayed.
+        """
+        replayed = len(self._redo)
+        self.cache.drop()
+        self._dirty.clear()
+        # Replay: sequential journal scan (one read per record's block
+        # region, cheap) re-establishes the dirty home blocks.
+        journal_cursor = self.journal.head_block - replayed
+        for dirties in self._redo:
+            block = self.journal.base_block + (
+                (journal_cursor - self.journal.base_block) % self.journal.nblocks
+            )
+            self.cache.read(max(block, self.journal.base_block), 1)
+            journal_cursor += 1
+            self._dirty.update(dirties)
+        self._redo.clear()
+        self.checkpoint()
+        self.metrics.incr("mds.crash_recoveries")
+        self.metrics.incr("mds.replayed_records", replayed)
+        return replayed
+
+    def reset_timeline(self) -> None:
+        """Zero all timing accumulators (phase boundary); namespace and
+        on-disk state are retained."""
+        self.flush()
+        self.disk.reset_timeline()
+        self._cpu_s = 0.0
+        self._overhead_s = 0.0
+
+    # -- internals -----------------------------------------------------------
+    def _now(self) -> float:
+        return self.elapsed_s
+
+    def _execute(self, plan: AccessPlan, op_name: str, requests: int = 1) -> None:
+        for block, count in plan.reads:
+            self.cache.read(block, count)
+        if plan.journal_records > 0 and self.config.meta.sync_writes:
+            for req in self.journal.append(plan.journal_records):
+                self.disk.submit(req)
+            self.metrics.incr("mds.journal_writes", plan.journal_records)
+            self._redo.append(list(plan.dirties))
+        if plan.dirties:
+            self._dirty.update(plan.dirties)
+        self._cpu_s += plan.cpu_s
+        self._overhead_s += requests * self.config.mds_request_overhead_s
+        self.ops += 1
+        self.metrics.incr(f"mds.op.{op_name}")
+        if plan.journal_records > 0:
+            self._ops_since_ckpt += 1
+            if self._ops_since_ckpt >= self.config.meta.journal_interval_ops:
+                self.checkpoint()

@@ -1,0 +1,117 @@
+"""Metric accounting shared by disks, schedulers, allocators and the MDS.
+
+A :class:`Metrics` object is a hierarchical bag of named counters and timers.
+Components increment counters as side effects; experiment runners snapshot
+and diff them, so a single file system instance can serve several phases
+(e.g. the micro-benchmark's write phase and read phase) with clean books.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+class Metrics:
+    """Named counters (integers) and accumulators (floats)."""
+
+    def __init__(self) -> None:
+        self._counters: Counter[str] = Counter()
+        self._accumulators: dict[str, float] = {}
+
+    # -- counters ---------------------------------------------------------
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at zero)."""
+        self._counters[name] += amount
+
+    def count(self, name: str) -> int:
+        """Current value of counter ``name`` (zero if never touched)."""
+        return self._counters.get(name, 0)
+
+    # -- accumulators -----------------------------------------------------
+    def add(self, name: str, amount: float) -> None:
+        """Add ``amount`` to float accumulator ``name``."""
+        self._accumulators[name] = self._accumulators.get(name, 0.0) + amount
+
+    def total(self, name: str) -> float:
+        """Current value of accumulator ``name`` (zero if never touched)."""
+        return self._accumulators.get(name, 0.0)
+
+    # -- snapshots --------------------------------------------------------
+    def snapshot(self) -> "MetricsSnapshot":
+        """Capture current values for later diffing."""
+        return MetricsSnapshot(dict(self._counters), dict(self._accumulators))
+
+    def since(self, snap: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Delta of all counters/accumulators since ``snap``."""
+        counters = {
+            k: v - snap.counters.get(k, 0)
+            for k, v in self._counters.items()
+            if v - snap.counters.get(k, 0) != 0
+        }
+        accs = {
+            k: v - snap.accumulators.get(k, 0.0)
+            for k, v in self._accumulators.items()
+            if v - snap.accumulators.get(k, 0.0) != 0.0
+        }
+        return MetricsSnapshot(counters, accs)
+
+    def reset(self) -> None:
+        """Zero every counter and accumulator."""
+        self._counters.clear()
+        self._accumulators.clear()
+
+    def as_dict(self) -> dict[str, float]:
+        """Flatten to a plain dict (counters first, accumulators second)."""
+        out: dict[str, float] = dict(self._counters)
+        out.update(self._accumulators)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Metrics({self.as_dict()!r})"
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable point-in-time copy of a :class:`Metrics` object."""
+
+    counters: dict[str, int] = field(default_factory=dict)
+    accumulators: dict[str, float] = field(default_factory=dict)
+
+    def count(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def total(self, name: str) -> float:
+        return self.accumulators.get(name, 0.0)
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Outcome of a timed data phase.
+
+    ``throughput`` is bytes per simulated second.  ``ops`` counts logical
+    operations (writes, reads or metadata ops depending on the phase).
+    """
+
+    bytes_moved: int
+    elapsed: float
+    ops: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Bytes per simulated second (0 for an instantaneous phase)."""
+        if self.elapsed <= 0.0:
+            return 0.0
+        return self.bytes_moved / self.elapsed
+
+    @property
+    def mib_per_s(self) -> float:
+        """Throughput in MiB/s, the unit used in the paper's figures."""
+        return self.throughput / (1024.0 * 1024.0)
+
+    @property
+    def ops_per_s(self) -> float:
+        """Operations per simulated second (metadata benchmarks)."""
+        if self.elapsed <= 0.0:
+            return 0.0
+        return self.ops / self.elapsed

@@ -1,0 +1,69 @@
+"""Small statistics helpers for experiment summaries."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (std / mean); 0 for a zero mean."""
+        if self.mean == 0.0:
+            return 0.0
+        return self.std / abs(self.mean)
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary` of ``values`` (population std).
+
+    >>> s = summarize([1.0, 2.0, 3.0])
+    >>> s.n, s.mean, s.minimum, s.maximum
+    (3, 2.0, 1.0, 3.0)
+    """
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(data)
+    mean = sum(data) / n
+    var = sum((v - mean) ** 2 for v in data) / n
+    return Summary(n=n, mean=mean, std=math.sqrt(var), minimum=min(data), maximum=max(data))
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """Relative improvement of ``improved`` over ``baseline`` (e.g. 0.19 = +19%).
+
+    >>> round(speedup(100.0, 119.0), 2)
+    0.19
+    """
+    if baseline <= 0.0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return (improved - baseline) / baseline
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio; returns ``inf`` for a zero denominator with nonzero numerator."""
+    if denominator == 0.0:
+        return math.inf if numerator != 0.0 else 0.0
+    return numerator / denominator
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    data = [float(v) for v in values]
+    if not data:
+        raise ValueError("cannot take geometric mean of an empty sample")
+    if any(v <= 0.0 for v in data):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in data) / len(data))

@@ -1,0 +1,46 @@
+"""Workload generators reproducing the paper's benchmarks (§V)."""
+
+from repro.workloads.base import (
+    FsyncOp,
+    ReadOp,
+    StreamProgram,
+    WriteOp,
+    run_data_phase,
+)
+from repro.workloads.traces import TraceRecord, synth_checkpoint_trace
+from repro.workloads.streams import SharedFileMicrobench
+from repro.workloads.ior import IORBenchmark
+from repro.workloads.btio import BTIOBenchmark
+from repro.workloads.metarates import MetaratesWorkload
+from repro.workloads.mdtest import MdtestConfig, MdtestResult, MdtestWorkload
+from repro.workloads.fpp import FilePerProcessBench
+from repro.workloads.postmark import PostMarkConfig, PostMarkWorkload
+from repro.workloads.filesizes import kernel_tree_sizes
+from repro.workloads.apps import KernelTree, MakeCleanApp, MakeApp, TarApp
+from repro.workloads.aging import age_metadata_fs
+
+__all__ = [
+    "WriteOp",
+    "ReadOp",
+    "FsyncOp",
+    "StreamProgram",
+    "run_data_phase",
+    "TraceRecord",
+    "synth_checkpoint_trace",
+    "SharedFileMicrobench",
+    "IORBenchmark",
+    "BTIOBenchmark",
+    "MetaratesWorkload",
+    "MdtestConfig",
+    "MdtestResult",
+    "MdtestWorkload",
+    "FilePerProcessBench",
+    "PostMarkConfig",
+    "PostMarkWorkload",
+    "kernel_tree_sizes",
+    "KernelTree",
+    "MakeCleanApp",
+    "MakeApp",
+    "TarApp",
+    "age_metadata_fs",
+]

@@ -1,0 +1,172 @@
+"""Operation records and the concurrent-phase runner.
+
+Concurrency model: client threads are *synchronous* — each has one request
+outstanding — and the runner executes them in lock-step rounds.  Every
+round gathers the next operation of each still-active stream (this is the
+"order of arrival time" interleaving of Figure 1(a)), maps them through the
+data plane, and submits the union of their physical requests to the disk
+array as one concurrent batch for the elevator to arrange.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.disk.model import BlockRequest
+from repro.fs.dataplane import DataPlane
+from repro.fs.file import RedbudFile
+from repro.fs.stream import StreamId
+from repro.rng import derive_rng
+from repro.sim.metrics import ThroughputResult
+
+
+@dataclass(frozen=True, slots=True)
+class WriteOp:
+    """Write ``nbytes`` at ``offset`` of ``file``."""
+
+    file: RedbudFile
+    offset: int
+    nbytes: int
+
+
+@dataclass(frozen=True, slots=True)
+class ReadOp:
+    """Read ``nbytes`` at ``offset`` of ``file``."""
+
+    file: RedbudFile
+    offset: int
+    nbytes: int
+
+
+@dataclass(frozen=True, slots=True)
+class FsyncOp:
+    """Flush delayed allocations of ``file``."""
+
+    file: RedbudFile
+
+
+Op = WriteOp | ReadOp | FsyncOp
+
+
+@dataclass
+class StreamProgram:
+    """One client thread: a stream id plus its operation sequence."""
+
+    stream: StreamId
+    ops: Iterable[Op]
+
+    def __iter__(self) -> Iterator[Op]:
+        return iter(self.ops)
+
+
+def run_data_phase(
+    plane: DataPlane,
+    programs: list[StreamProgram],
+    reset_timelines: bool = True,
+    read_buffer_blocks: int = 256,
+    write_buffer_blocks: int = 32768,
+    skip_probability: float = 0.1,
+    seed: int = 0,
+) -> ThroughputResult:
+    """Run concurrent stream programs to completion; returns throughput.
+
+    Mapping stays in strict round-robin arrival order — allocation
+    interleaving across concurrent streams is the phenomenon under study
+    (Figure 1(a)) — while disk submission models the OS I/O path:
+
+    - **Reads**: per-stream readahead.  A stream's read requests accumulate
+      up to ``read_buffer_blocks`` (default 1 MiB, a kernel readahead
+      window); streams crossing the threshold submit together, so the
+      elevator sees every concurrent reader's window at once.
+    - **Writes**: page-cache writeback.  Dirty requests pool globally (a
+      shared file is one inode — flushing walks it in offset order) and
+      flush as one sorted sweep whenever ``write_buffer_blocks`` (default
+      128 MiB — HPC nodes buffer checkpoints deeply) are pending, and at
+      phase end.
+
+    ``skip_probability`` injects per-round scheduling jitter: each stream
+    independently stalls for a round with this probability.  Real cluster
+    nodes are never in perfect lock-step, so a layout derived from arrival
+    order (per-inode reservation) does not line up perfectly with a later
+    read-back — the pace mismatch behind the paper's intra-file
+    interference.  0 gives fully deterministic lock-step.
+
+    Elapsed time is the busiest disk's busy time over the phase (disks work
+    in parallel); bytes moved counts both reads and writes.
+    """
+    if read_buffer_blocks <= 0 or write_buffer_blocks <= 0:
+        raise ValueError("read/write buffer sizes must be positive")
+    if not (0.0 <= skip_probability < 1.0):
+        raise ValueError(f"skip_probability must be in [0, 1): {skip_probability}")
+    rng: np.random.Generator | None = (
+        derive_rng(seed, "phase-jitter") if skip_probability > 0.0 else None
+    )
+    if reset_timelines:
+        plane.array.reset_timelines()
+    start_elapsed = plane.array.elapsed_s
+    iters: list[tuple[StreamId, Iterator[Op]]] = [
+        (p.stream, iter(p)) for p in programs
+    ]
+    bytes_moved = 0
+    ops_done = 0
+    dirty: list[BlockRequest] = []
+    dirty_blocks = 0
+    pending_reads: dict[StreamId, list[BlockRequest]] = {}
+    pending_read_blocks: dict[StreamId, int] = {}
+    while iters:
+        ready_reads: list[BlockRequest] = []
+        alive: list[tuple[StreamId, Iterator[Op]]] = []
+        skips = (
+            rng.random(len(iters)) < skip_probability if rng is not None else None
+        )
+        for i, (stream, it) in enumerate(iters):
+            if skips is not None and bool(skips[i]):
+                alive.append((stream, it))  # stalled this round
+                continue
+            op = next(it, None)
+            if op is None:
+                continue
+            alive.append((stream, it))
+            if isinstance(op, (WriteOp, FsyncOp)):
+                if isinstance(op, WriteOp):
+                    requests = plane.write(op.file, stream, op.offset, op.nbytes)
+                    bytes_moved += op.nbytes
+                else:
+                    requests = plane.fsync(op.file)
+                dirty.extend(requests)
+                dirty_blocks += sum(r.nblocks for r in requests)
+            elif isinstance(op, ReadOp):
+                requests = plane.read(op.file, op.offset, op.nbytes)
+                bytes_moved += op.nbytes
+                pending = pending_reads.setdefault(stream, [])
+                pending.extend(requests)
+                pending_read_blocks[stream] = pending_read_blocks.get(
+                    stream, 0
+                ) + sum(r.nblocks for r in requests)
+                if pending_read_blocks[stream] >= read_buffer_blocks:
+                    ready_reads.extend(pending)
+                    pending_reads[stream] = []
+                    pending_read_blocks[stream] = 0
+            else:  # pragma: no cover - exhaustive over Op
+                raise TypeError(f"unknown op: {op!r}")
+            ops_done += 1
+        iters = alive
+        if ready_reads:
+            plane.array.submit_batch(ready_reads)
+        if dirty_blocks >= write_buffer_blocks:
+            dirty.sort(key=lambda r: r.start)
+            plane.array.submit_batch(dirty)
+            dirty = []
+            dirty_blocks = 0
+    # Phase end: remaining readahead windows, then the final writeback.
+    tail_reads = [req for pending in pending_reads.values() for req in pending]
+    if tail_reads:
+        plane.array.submit_batch(tail_reads)
+    if dirty:
+        dirty.sort(key=lambda r: r.start)
+        plane.array.submit_batch(dirty)
+    elapsed = plane.array.elapsed_s - start_elapsed
+    return ThroughputResult(bytes_moved=bytes_moved, elapsed=elapsed, ops=ops_done)

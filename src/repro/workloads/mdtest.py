@@ -1,0 +1,128 @@
+"""mdtest-style tree metadata benchmark.
+
+mdtest (LLNL) is the companion benchmark to IOR: each task creates, stats
+and removes files/directories across a tree of configurable depth and
+branching factor.  The paper uses Metarates (flat per-client directories);
+mdtest exercises the *tree* dimension — deep lookups, directory creation
+spread across groups, and interleaved per-task operation phases — and is
+the benchmark a downstream user of this library would reach for first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.meta.mds import MetadataServer
+from repro.sim.metrics import ThroughputResult
+
+
+@dataclass(frozen=True)
+class MdtestConfig:
+    """Tree shape and per-task load (mdtest's -z/-b/-I/-n knobs)."""
+
+    depth: int = 2
+    branch: int = 3
+    items_per_dir: int = 16
+    ntasks: int = 4
+
+    def __post_init__(self) -> None:
+        if self.depth < 0 or self.branch <= 0:
+            raise ConfigError("depth must be >= 0 and branch positive")
+        if self.items_per_dir <= 0 or self.ntasks <= 0:
+            raise ConfigError("items_per_dir and ntasks must be positive")
+
+    @property
+    def ndirs(self) -> int:
+        """Directories in one task's tree (full ``branch``-ary of ``depth``)."""
+        if self.branch == 1:
+            return self.depth + 1
+        return (self.branch ** (self.depth + 1) - 1) // (self.branch - 1)
+
+    @property
+    def nitems(self) -> int:
+        """Files one task creates (items in every directory of its tree)."""
+        return self.ndirs * self.items_per_dir
+
+
+@dataclass
+class MdtestResult:
+    """ops/s per phase, as mdtest reports."""
+
+    dir_create: float
+    file_create: float
+    file_stat: float
+    file_remove: float
+    total_ops: int
+
+
+class MdtestWorkload:
+    """Run the four mdtest phases against one MDS."""
+
+    def __init__(self, config: MdtestConfig) -> None:
+        self.config = config
+
+    def run(self, mds: MetadataServer, cold_stat: bool = True) -> MdtestResult:
+        cfg = self.config
+        # Phase 1: every task builds its tree (tasks interleave per level).
+        t0 = mds.elapsed_s
+        trees: list[list] = [[] for _ in range(cfg.ntasks)]
+        roots = [
+            mds.mkdir(mds.root, f"task{t:03d}") for t in range(cfg.ntasks)
+        ]
+        for t, root in enumerate(roots):
+            trees[t].append(root)
+        frontier = [list(tree) for tree in trees]
+        for level in range(cfg.depth):
+            next_frontier: list[list] = [[] for _ in range(cfg.ntasks)]
+            for width_idx in range(cfg.branch):
+                for t in range(cfg.ntasks):
+                    for parent_idx, parent in enumerate(frontier[t]):
+                        d = mds.mkdir(
+                            parent, f"d{level}.{parent_idx}.{width_idx}"
+                        )
+                        trees[t].append(d)
+                        next_frontier[t].append(d)
+            frontier = next_frontier
+        ndirs = sum(len(tree) for tree in trees)
+        dir_create_s = mds.elapsed_s - t0
+
+        # Phase 2: create items in every directory, tasks interleaved.
+        t0 = mds.elapsed_s
+        for i in range(cfg.items_per_dir):
+            for t in range(cfg.ntasks):
+                for di, d in enumerate(trees[t]):
+                    mds.create(d, f"file.{di}.{i}")
+        nitems = cfg.ntasks * cfg.nitems
+        file_create_s = mds.elapsed_s - t0
+
+        # Phase 3: stat every item (optionally cold, like a fresh mount).
+        if cold_stat:
+            mds.flush()
+            mds.drop_caches()
+        t0 = mds.elapsed_s
+        for i in range(cfg.items_per_dir):
+            for t in range(cfg.ntasks):
+                for di, d in enumerate(trees[t]):
+                    mds.stat(d, f"file.{di}.{i}")
+        file_stat_s = mds.elapsed_s - t0
+
+        # Phase 4: remove every item.
+        t0 = mds.elapsed_s
+        for i in range(cfg.items_per_dir):
+            for t in range(cfg.ntasks):
+                for di, d in enumerate(trees[t]):
+                    mds.delete(d, f"file.{di}.{i}")
+        file_remove_s = mds.elapsed_s - t0
+        mds.flush()
+
+        def rate(n: int, secs: float) -> float:
+            return n / secs if secs > 0 else 0.0
+
+        return MdtestResult(
+            dir_create=rate(ndirs, dir_create_s),
+            file_create=rate(nitems, file_create_s),
+            file_stat=rate(nitems, file_stat_s),
+            file_remove=rate(nitems, file_remove_s),
+            total_ops=ndirs + 3 * nitems,
+        )

@@ -1,0 +1,111 @@
+"""The paper's two-phase shared-file micro-benchmark (§V.C.1, Fig. 6).
+
+Phase 1 — *placement*: N process streams concurrently extend disjoint
+regions of one shared file ("4 threads on each client ... all of them wrote
+different regions of a shared file concurrently"), interleaved in arrival
+order.  This is where the preallocation policy decides the on-disk layout.
+
+Phase 2 — *measurement*: "the shared file was split into 1024 segments and
+each one was sequentially read/written by a thread in cluster".  Segments
+are dealt round-robin to the reader threads; each thread reads its segments
+sequentially.  Fragmented placement makes even this sequential access
+thrash the disk head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.fs.dataplane import DataPlane
+from repro.fs.file import RedbudFile
+from repro.fs.stream import make_stream_id
+from repro.sim.metrics import ThroughputResult
+from repro.workloads.base import ReadOp, StreamProgram, WriteOp, run_data_phase
+from repro.workloads.traces import synth_checkpoint_trace, trace_streams
+
+
+@dataclass(frozen=True)
+class SharedFileMicrobench:
+    """Parameters of the two-phase micro-benchmark."""
+
+    nstreams: int = 32
+    file_bytes: int = 256 * 1024 * 1024
+    #: Phase-1 request ("allocation") size — Fig. 6(b)'s x axis.
+    write_request_bytes: int = 16 * 1024
+    #: Phase-2 read request size.
+    read_request_bytes: int = 64 * 1024
+    segments: int = 1024
+    #: Concurrent reader threads in phase 2 (paper: the same cluster).
+    readers: int | None = None
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nstreams <= 0 or self.file_bytes <= 0:
+            raise ConfigError("nstreams and file_bytes must be positive")
+        if self.write_request_bytes <= 0 or self.read_request_bytes <= 0:
+            raise ConfigError("request sizes must be positive")
+        if self.segments <= 0:
+            raise ConfigError("segments must be positive")
+        if self.file_bytes % self.nstreams != 0:
+            raise ConfigError("file_bytes must divide evenly among streams")
+
+    @property
+    def region_bytes(self) -> int:
+        return self.file_bytes // self.nstreams
+
+    # -- phases ----------------------------------------------------------------
+    def create_shared_file(self, plane: DataPlane, name: str = "/shared.chk") -> RedbudFile:
+        """Create the shared file (declares its size so the static policy
+        can fallocate — other policies ignore the declaration)."""
+        return plane.create_file(name, expected_bytes=self.file_bytes)
+
+    def phase1_write(self, plane: DataPlane, f: RedbudFile) -> ThroughputResult:
+        """Concurrent placement phase driven by the synthetic LLNL trace."""
+        records = synth_checkpoint_trace(
+            self.nstreams,
+            self.region_bytes,
+            self.write_request_bytes,
+            jitter=self.jitter,
+            seed=self.seed,
+        )
+        programs = [
+            StreamProgram(
+                stream=make_stream_id(proc // 4, proc % 4),
+                ops=[WriteOp(f, rec.offset, rec.nbytes) for rec in recs],
+            )
+            for proc, recs in sorted(trace_streams(records).items())
+        ]
+        return run_data_phase(plane, programs)
+
+    def phase2_read(self, plane: DataPlane, f: RedbudFile) -> ThroughputResult:
+        """Segmented sequential read-back (the measured phase)."""
+        readers = self.readers if self.readers is not None else self.nstreams
+        if readers <= 0:
+            raise ConfigError("readers must be positive")
+        seg_bytes = self.file_bytes // self.segments
+        if seg_bytes == 0:
+            raise ConfigError("more segments than bytes")
+        per_reader_ops: list[list[ReadOp]] = [[] for _ in range(readers)]
+        for seg in range(self.segments):
+            reader = seg % readers
+            base = seg * seg_bytes
+            cursor = 0
+            while cursor < seg_bytes:
+                chunk = min(self.read_request_bytes, seg_bytes - cursor)
+                per_reader_ops[reader].append(ReadOp(f, base + cursor, chunk))
+                cursor += chunk
+        programs = [
+            StreamProgram(stream=make_stream_id(1000 + i // 4, i % 4), ops=ops)
+            for i, ops in enumerate(per_reader_ops)
+        ]
+        return run_data_phase(plane, programs)
+
+    def run(self, plane: DataPlane, name: str = "/shared.chk") -> tuple[ThroughputResult, ThroughputResult]:
+        """Both phases; returns (phase-1 write, phase-2 read) results."""
+        f = self.create_shared_file(plane, name)
+        w = self.phase1_write(plane, f)
+        plane.close_file(f)  # release reservations before the read phase
+        r = self.phase2_read(plane, f)
+        return (w, r)

@@ -1,0 +1,85 @@
+"""Synthetic scientific-computing traces.
+
+The paper's micro-benchmark is "based on the trace analysis of scientific
+computing environment" [16] (Wang et al., MSST'04: LLNL physics
+simulations), whose headline property is "a set of nodes frequently write
+collected data to a shared file".  The real traces are not available, so
+:func:`synth_checkpoint_trace` synthesizes request streams with the same
+structure: N processes appending fixed-size records to disjoint regions of
+one shared checkpoint file, in bursts, interleaved in arrival order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.rng import derive_rng
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One trace event: process ``proc`` writes/reads [offset, offset+nbytes)."""
+
+    sequence: int
+    proc: int
+    op: str  # "write" | "read"
+    offset: int
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.op not in ("write", "read"):
+            raise ConfigError(f"unknown trace op: {self.op!r}")
+        if self.offset < 0 or self.nbytes <= 0:
+            raise ConfigError(f"bad trace range: {self}")
+
+
+def synth_checkpoint_trace(
+    nprocs: int,
+    region_bytes: int,
+    request_bytes: int,
+    jitter: float = 0.0,
+    seed: int = 0,
+) -> list[TraceRecord]:
+    """Generate an LLNL-style shared-file checkpoint trace.
+
+    Each of ``nprocs`` processes owns the disjoint region
+    ``[p * region_bytes, (p+1) * region_bytes)`` and appends to it in
+    ``request_bytes`` chunks.  Records are interleaved round-robin (the
+    lock-step arrival order of Figure 1(a)); ``jitter`` > 0 randomly swaps a
+    fraction of adjacent arrivals to model unsynchronized clients.
+    """
+    if nprocs <= 0 or region_bytes <= 0 or request_bytes <= 0:
+        raise ConfigError("nprocs, region_bytes, request_bytes must be positive")
+    if not (0.0 <= jitter <= 1.0):
+        raise ConfigError(f"jitter must be in [0, 1]: {jitter}")
+    requests_per_proc = -(-region_bytes // request_bytes)
+    records: list[TraceRecord] = []
+    seq = 0
+    for r in range(requests_per_proc):
+        for p in range(nprocs):
+            offset = p * region_bytes + r * request_bytes
+            nbytes = min(request_bytes, (p + 1) * region_bytes - offset)
+            if nbytes <= 0:
+                continue
+            records.append(TraceRecord(seq, p, "write", offset, nbytes))
+            seq += 1
+    if jitter > 0.0:
+        rng = derive_rng(seed, "trace-jitter")
+        n = len(records)
+        swaps = int(n * jitter)
+        for _ in range(swaps):
+            i = int(rng.integers(0, n - 1))
+            a, b = records[i], records[i + 1]
+            if a.proc != b.proc:
+                records[i] = TraceRecord(a.sequence, b.proc, b.op, b.offset, b.nbytes)
+                records[i + 1] = TraceRecord(b.sequence, a.proc, a.op, a.offset, a.nbytes)
+    return records
+
+
+def trace_streams(records: list[TraceRecord]) -> dict[int, list[TraceRecord]]:
+    """Group a trace by process, preserving per-process order."""
+    out: dict[int, list[TraceRecord]] = {}
+    for rec in records:
+        out.setdefault(rec.proc, []).append(rec)
+    return out

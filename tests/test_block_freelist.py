@@ -1,0 +1,124 @@
+"""Free-extent set: allocation passes, coalescing, invariants."""
+
+import pytest
+
+from repro.block.freelist import FreeExtentSet
+from repro.errors import AllocationError, NoSpaceError
+
+
+@pytest.fixture
+def fes() -> FreeExtentSet:
+    return FreeExtentSet(base=0, size=1000)
+
+
+class TestBasics:
+    def test_starts_fully_free(self, fes):
+        assert fes.free_blocks == 1000
+        assert fes.run_count == 1
+        assert fes.largest_run == 1000
+
+    def test_invalid_region_rejected(self):
+        with pytest.raises(AllocationError):
+            FreeExtentSet(base=-1, size=10)
+        with pytest.raises(AllocationError):
+            FreeExtentSet(base=0, size=0)
+
+    def test_is_free(self, fes):
+        assert fes.is_free(0, 1000)
+        fes.allocate_exact(100, 50)
+        assert not fes.is_free(100, 1)
+        assert not fes.is_free(99, 2)
+        assert fes.is_free(150, 10)
+
+
+class TestAllocateExact:
+    def test_middle_split(self, fes):
+        fes.allocate_exact(100, 50)
+        assert fes.free_blocks == 950
+        assert fes.run_count == 2
+        assert fes.runs() == [(0, 100), (150, 850)]
+
+    def test_prefix(self, fes):
+        fes.allocate_exact(0, 10)
+        assert fes.runs() == [(10, 990)]
+
+    def test_suffix(self, fes):
+        fes.allocate_exact(990, 10)
+        assert fes.runs() == [(0, 990)]
+
+    def test_double_allocation_rejected(self, fes):
+        fes.allocate_exact(0, 10)
+        with pytest.raises(NoSpaceError):
+            fes.allocate_exact(5, 10)
+
+
+class TestAllocateNear:
+    def test_hint_inside_free_run(self, fes):
+        start, got = fes.allocate_near(500, 10)
+        assert (start, got) == (500, 10)
+
+    def test_hint_in_used_space_finds_next_run(self, fes):
+        fes.allocate_exact(500, 100)
+        start, got = fes.allocate_near(550, 10)
+        assert start == 600  # first run at/after the hint
+        assert got == 10
+
+    def test_wraps_below_hint_when_tail_full(self, fes):
+        fes.allocate_exact(500, 500)
+        start, got = fes.allocate_near(700, 10)
+        assert start == 0
+
+    def test_degrades_to_largest_run(self, fes):
+        # Free space: [0,10) and [20,25): ask for 100, get the 10-run.
+        fes.allocate_exact(10, 10)
+        fes.allocate_exact(25, 975)
+        start, got = fes.allocate_near(0, 100)
+        assert (start, got) == (0, 10)
+
+    def test_minimum_respected(self, fes):
+        fes.allocate_exact(10, 985)  # leaves [0,10) and [995,1000)
+        with pytest.raises(NoSpaceError):
+            fes.allocate_near(0, 100, minimum=50)
+
+    def test_exhaustion(self, fes):
+        fes.allocate_exact(0, 1000)
+        with pytest.raises(NoSpaceError):
+            fes.allocate_near(0, 1)
+
+    def test_bad_count(self, fes):
+        with pytest.raises(AllocationError):
+            fes.allocate_near(0, 0)
+
+
+class TestFree:
+    def test_free_coalesces_both_sides(self, fes):
+        fes.allocate_exact(100, 300)
+        fes.free(200, 100)          # island between two used ranges
+        assert fes.run_count == 3
+        fes.free(100, 100)          # bridges [0,100) and [200,300)
+        assert fes.run_count == 2
+        fes.free(300, 100)          # bridges everything
+        assert fes.runs() == [(0, 1000)]
+
+    def test_double_free_rejected(self, fes):
+        fes.allocate_exact(100, 10)
+        fes.free(100, 10)
+        with pytest.raises(AllocationError):
+            fes.free(100, 10)
+
+    def test_free_outside_region_rejected(self, fes):
+        with pytest.raises(AllocationError):
+            fes.free(999, 2)
+
+    def test_partial_free(self, fes):
+        fes.allocate_exact(0, 100)
+        fes.free(10, 20)
+        assert fes.is_free(10, 20)
+        assert not fes.is_free(0, 10)
+
+    def test_validate_passes_after_churn(self, fes):
+        fes.allocate_exact(0, 500)
+        fes.free(100, 100)
+        fes.free(300, 50)
+        fes.allocate_near(120, 30)
+        fes.validate()

@@ -1,0 +1,49 @@
+"""CLI figure commands: each prints its table end-to-end at tiny scale."""
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.slow
+
+
+class TestFigureCommands:
+    def test_fig6a(self, capsys):
+        assert main(["fig6a", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 6(a)" in out
+        assert "ondemand" in out
+
+    def test_fig6b(self, capsys):
+        assert main(["fig6b", "--scale", "0.1"]) == 0
+        assert "Fig 6(b)" in capsys.readouterr().out
+
+    def test_fig7(self, capsys):
+        assert main(["fig7", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "IOR" in out
+        assert "collective" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "seg counts" in out
+        assert "vanilla" in out
+
+    def test_fig8(self, capsys):
+        assert main(["fig8", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "Metarates" in out
+        assert "readdir-stat" in out
+
+    def test_fig9(self, capsys):
+        assert main(["fig9", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "aging" in out
+        assert "redbud-mif" in out
+
+    def test_fig10(self, capsys):
+        assert main(["fig10", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "postmark" in out
+        assert "make-clean" in out

@@ -1,0 +1,103 @@
+"""High-level API: build_filesystem, compare_policies, fragmentation report,
+and structural behaviour of the experiment result types."""
+
+import pytest
+
+from repro.core.api import (
+    PROFILES,
+    build_filesystem,
+    compare_policies,
+    fragmentation_report,
+)
+from repro.core.experiments import (
+    Fig6aResult,
+    Fig7Result,
+    MacroRun,
+    prealloc_waste,
+)
+from repro.errors import ConfigError
+from repro.fs.dataplane import DataPlane
+from repro.units import KiB
+
+from tests.conftest import small_config
+
+
+class TestBuildFilesystem:
+    def test_profiles_exposed(self):
+        assert set(PROFILES) == {"redbud-orig", "lustre", "redbud-mif"}
+
+    @pytest.mark.parametrize("profile", sorted(PROFILES))
+    def test_build_each_profile(self, profile):
+        fs = build_filesystem(profile)
+        fs.create("/x")
+        assert fs.exists("/x")
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigError):
+            build_filesystem("zfs")
+
+    def test_overrides_forwarded(self):
+        fs = build_filesystem("redbud-mif", ndisks=3)
+        assert fs.config.ndisks == 3
+
+
+class TestComparePolicies:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return compare_policies(
+            policies=("reservation", "ondemand"),
+            nstreams=8,
+            file_mib=16,
+            ndisks=2,
+        )
+
+    def test_all_policies_present(self, report):
+        assert {r.policy for r in report.results} == {"reservation", "ondemand"}
+
+    def test_get_and_best(self, report):
+        assert report.get("ondemand").policy == "ondemand"
+        assert report.best_read() in report.results
+        with pytest.raises(KeyError):
+            report.get("zfs")
+
+    def test_extent_ordering(self, report):
+        assert report.get("ondemand").extents < report.get("reservation").extents
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            compare_policies(file_mib=0)
+
+
+class TestFragmentationReport:
+    def test_report_contains_sections(self):
+        plane = DataPlane(small_config())
+        f = plane.create_file("/f")
+        for i in range(8):
+            plane.write(f, 1, i * 64 * KiB, 64 * KiB)
+        out = fragmentation_report(plane, f)
+        assert "extents" in out
+        assert "slot 0 layout" in out
+        assert f.name in out
+
+
+class TestResultTypes:
+    def test_fig6a_improvement(self):
+        r = Fig6aResult(
+            stream_counts=[32],
+            throughput={"reservation": {32: 100.0}, "ondemand": {32: 120.0}},
+            extents={"reservation": {32: 10}, "ondemand": {32: 2}},
+        )
+        assert r.improvement_over("reservation", "ondemand", 32) == pytest.approx(0.2)
+
+    def test_fig7_get_raises_on_missing(self):
+        r = Fig7Result(
+            runs=[MacroRun("IOR", "ondemand", False, 1.0, 10, 0.5)]
+        )
+        assert r.get("IOR", "ondemand", False).extents == 10
+        with pytest.raises(KeyError):
+            r.get("IOR", "ondemand", True)
+
+    def test_prealloc_waste_properties(self):
+        w = prealloc_waste(nfiles=100, seed=0)
+        assert w.occupied_large > w.occupied_small
+        assert w.waste_ratio > 1.0

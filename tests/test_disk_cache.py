@@ -1,0 +1,130 @@
+"""Buffer cache: hit/miss accounting, LRU eviction, readahead growth."""
+
+import pytest
+
+from repro.config import CacheParams, DiskParams, SchedulerParams
+from repro.disk.cache import BufferCache
+from repro.disk.disk import SimulatedDisk
+from repro.disk.model import BlockRequest
+from repro.errors import SimulationError
+
+
+def make_cache(capacity=64, ra_init=4, ra_max=32, enabled=True):
+    disk = SimulatedDisk(DiskParams(capacity_blocks=1 << 16), SchedulerParams())
+    cache = BufferCache(
+        CacheParams(
+            capacity_blocks=capacity,
+            readahead_init_blocks=ra_init,
+            readahead_max_blocks=ra_max,
+            enabled=enabled,
+        ),
+        disk,
+    )
+    return cache, disk
+
+
+class TestCaching:
+    def test_first_read_misses(self):
+        cache, _ = make_cache()
+        cache.read(10, 1)
+        assert cache.metrics.count("cache.misses") == 1
+
+    def test_repeat_read_hits(self):
+        cache, disk = make_cache()
+        cache.read(10, 1)
+        before = disk.metrics.count("disk.requests")
+        t = cache.read(10, 1)
+        assert t == 0.0
+        assert disk.metrics.count("disk.requests") == before
+        assert cache.metrics.count("cache.hits") >= 1
+
+    def test_write_populates_cache(self):
+        cache, disk = make_cache()
+        cache.write(5, 2)
+        before = disk.metrics.count("disk.requests")
+        cache.read(5, 2)
+        assert disk.metrics.count("disk.requests") == before
+
+    def test_sync_write_goes_to_disk(self):
+        cache, disk = make_cache()
+        cache.write(5, 2, sync=True)
+        assert disk.metrics.count("disk.write_requests") == 1
+
+    def test_async_write_stays_in_cache(self):
+        cache, disk = make_cache()
+        cache.write(5, 2, sync=False)
+        assert disk.metrics.count("disk.write_requests") == 0
+        assert cache.metrics.count("cache.delayed_writes") == 1
+
+    def test_lru_eviction(self):
+        cache, _ = make_cache(capacity=4)
+        cache.read(0, 1)
+        for b in range(100, 104):
+            cache.read(b, 1)
+        assert 0 not in cache
+        assert cache.metrics.count("cache.evictions") >= 1
+
+    def test_invalidate(self):
+        cache, _ = make_cache()
+        cache.read(10, 2)
+        cache.invalidate(10, 2)
+        assert 10 not in cache
+        assert 11 not in cache
+
+    def test_drop(self):
+        cache, _ = make_cache()
+        cache.read(10, 2)
+        cache.drop()
+        assert len(cache) == 0
+
+    def test_disabled_cache_always_reads_disk(self):
+        cache, disk = make_cache(enabled=False)
+        cache.read(10, 1)
+        cache.read(10, 1)
+        assert disk.metrics.count("disk.requests") == 2
+
+    def test_zero_blocks_rejected(self):
+        cache, _ = make_cache()
+        with pytest.raises(SimulationError):
+            cache.read(0, 0)
+        with pytest.raises(SimulationError):
+            cache.write(0, 0)
+
+
+class TestReadahead:
+    def test_sequential_single_block_reads_trigger_prefetch(self):
+        cache, disk = make_cache(capacity=256, ra_init=4, ra_max=32)
+        # A long run of sequential 1-block reads should need far fewer disk
+        # requests than blocks read.
+        for b in range(64):
+            cache.read(b, 1)
+        assert disk.metrics.count("disk.requests") < 20
+        assert cache.metrics.count("cache.readahead_hits") >= 1
+
+    def test_window_growth_reduces_requests_for_longer_runs(self):
+        cache1, disk1 = make_cache(capacity=4096, ra_max=32)
+        for b in range(32):
+            cache1.read(b, 1)
+        short_reqs = disk1.metrics.count("disk.requests")
+        cache2, disk2 = make_cache(capacity=4096, ra_max=32)
+        for b in range(256):
+            cache2.read(b, 1)
+        long_reqs = disk2.metrics.count("disk.requests")
+        # 8x the blocks must not cost 8x the requests (window doubled).
+        assert long_reqs < 8 * short_reqs
+
+    def test_interleaved_streams_each_get_a_context(self):
+        cache, disk = make_cache(capacity=4096)
+        # Two interleaved sequential streams (dentry blocks at 0+, itable
+        # blocks at 1000+) like a readdirplus.
+        for i in range(32):
+            cache.read(i, 1)
+            cache.read(1000 + i, 1)
+        # With per-stream contexts both streams prefetch: far fewer than 64.
+        assert disk.metrics.count("disk.requests") < 32
+
+    def test_random_reads_do_not_prefetch(self):
+        cache, disk = make_cache(capacity=4096)
+        for b in (5000, 100, 9000, 42, 7777):
+            cache.read(b, 1)
+        assert disk.metrics.count("disk.blocks") == 5

@@ -1,0 +1,81 @@
+"""I/O scheduler behaviour: sorting, merging, batch limits."""
+
+import pytest
+
+from repro.config import SchedulerParams
+from repro.disk.model import BlockRequest
+from repro.disk.scheduler import ElevatorScheduler, FifoScheduler, make_scheduler
+
+
+def starts(reqs):
+    return [r.start for r in reqs]
+
+
+class TestFifo:
+    def test_preserves_arrival_order(self):
+        s = FifoScheduler(SchedulerParams(kind="fifo", merge_gap_blocks=0))
+        out = s.arrange([BlockRequest(10, 1), BlockRequest(5, 1), BlockRequest(20, 1)])
+        assert starts(out) == [10, 5, 20]
+
+    def test_merges_only_adjacent_in_order(self):
+        s = FifoScheduler(SchedulerParams(kind="fifo", merge_gap_blocks=0))
+        out = s.arrange([BlockRequest(0, 2), BlockRequest(2, 3), BlockRequest(1, 1)])
+        # 0+2 merges with 2+3; backwards request stays separate.
+        assert [(r.start, r.nblocks) for r in out] == [(0, 5), (1, 1)]
+
+
+class TestElevator:
+    def test_sorts_by_start(self):
+        s = ElevatorScheduler(SchedulerParams(merge_gap_blocks=0))
+        out = s.arrange([BlockRequest(30, 1), BlockRequest(10, 1), BlockRequest(20, 1)])
+        assert starts(out) == [10, 20, 30]
+
+    def test_merges_contiguous(self):
+        s = ElevatorScheduler(SchedulerParams(merge_gap_blocks=0))
+        out = s.arrange([BlockRequest(4, 4), BlockRequest(0, 4)])
+        assert [(r.start, r.nblocks) for r in out] == [(0, 8)]
+
+    def test_merge_gap_covers_small_holes(self):
+        s = ElevatorScheduler(SchedulerParams(merge_gap_blocks=8))
+        out = s.arrange([BlockRequest(0, 4), BlockRequest(10, 4)])
+        # gap of 6 <= 8: merged into one skip-transfer covering [0, 14).
+        assert [(r.start, r.nblocks) for r in out] == [(0, 14)]
+
+    def test_gap_beyond_limit_not_merged(self):
+        s = ElevatorScheduler(SchedulerParams(merge_gap_blocks=8))
+        out = s.arrange([BlockRequest(0, 4), BlockRequest(20, 4)])
+        assert len(out) == 2
+
+    def test_reads_and_writes_never_merge(self):
+        s = ElevatorScheduler(SchedulerParams(merge_gap_blocks=8))
+        out = s.arrange(
+            [BlockRequest(0, 4, is_write=True), BlockRequest(4, 4, is_write=False)]
+        )
+        assert len(out) == 2
+
+    def test_batch_limit_bounds_sorting_window(self):
+        # Two descending requests in separate windows cannot be reordered
+        # across the window boundary.
+        s = ElevatorScheduler(SchedulerParams(merge_gap_blocks=0, batch_limit=1))
+        out = s.arrange([BlockRequest(30, 1), BlockRequest(10, 1)])
+        assert starts(out) == [30, 10]
+
+    def test_large_batch_splits_and_sorts_within_windows(self):
+        s = ElevatorScheduler(SchedulerParams(merge_gap_blocks=0, batch_limit=2))
+        out = s.arrange(
+            [BlockRequest(30, 1), BlockRequest(10, 1), BlockRequest(20, 1), BlockRequest(0, 1)]
+        )
+        assert starts(out) == [10, 30, 0, 20]
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(make_scheduler(SchedulerParams(kind="fifo")), FifoScheduler)
+        assert isinstance(make_scheduler(SchedulerParams(kind="elevator")), ElevatorScheduler)
+
+    def test_metrics_flow(self):
+        s = make_scheduler(SchedulerParams())
+        s.arrange([BlockRequest(0, 1), BlockRequest(1, 1)])
+        assert s.metrics.count("scheduler.batches") == 1
+        assert s.metrics.count("scheduler.requests_in") == 2
+        assert s.metrics.count("scheduler.requests_out") == 1  # merged

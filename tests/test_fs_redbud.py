@@ -1,0 +1,111 @@
+"""Path-level facade: namespace, data ops, metadata aggregation."""
+
+import pytest
+
+from repro.errors import FileExists, FileNotFound, MetadataError
+from repro.fs.redbud import RedbudFileSystem
+from repro.units import KiB, MiB
+
+from tests.conftest import small_config
+
+
+@pytest.fixture(params=["normal", "embedded"])
+def fs(request) -> RedbudFileSystem:
+    return RedbudFileSystem(small_config(layout=request.param))
+
+
+class TestNamespace:
+    def test_mkdir_create_stat(self, fs):
+        fs.mkdir("/proj")
+        fs.create("/proj/data.odb")
+        inode = fs.stat("/proj/data.odb")
+        assert inode.name == "data.odb"
+        assert fs.exists("/proj/data.odb")
+
+    def test_nested_dirs(self, fs):
+        fs.mkdir("/a")
+        fs.mkdir("/a/b")
+        fs.create("/a/b/c")
+        assert fs.readdir("/a/b") == ["c"]
+
+    def test_duplicate_rejected(self, fs):
+        fs.create("/f")
+        with pytest.raises(FileExists):
+            fs.create("/f")
+        with pytest.raises(FileExists):
+            fs.mkdir("/f")
+
+    def test_missing_parent_rejected(self, fs):
+        with pytest.raises(FileNotFound):
+            fs.create("/no/such/file")
+
+    def test_relative_path_rejected(self, fs):
+        with pytest.raises(MetadataError):
+            fs.create("relative.txt")
+
+    def test_unlink(self, fs):
+        fs.create("/f")
+        fs.write("/f", 0, 64 * KiB)
+        free = fs.data.fsm.free_blocks
+        fs.unlink("/f")
+        assert not fs.exists("/f")
+        assert fs.data.fsm.free_blocks > free
+
+    def test_rename_file(self, fs):
+        fs.create("/a")
+        fs.rename("/a", "/b")
+        assert fs.exists("/b")
+        assert not fs.exists("/a")
+        assert fs.stat("/b").name == "b"
+
+    def test_rename_directory_moves_children(self, fs):
+        fs.mkdir("/d")
+        fs.create("/d/f")
+        fs.rename("/d", "/e")
+        assert fs.exists("/e/f")
+        assert not fs.exists("/d/f")
+        assert fs.stat("/e/f").name == "f"
+
+    def test_readdir_stat(self, fs):
+        fs.mkdir("/d")
+        for i in range(5):
+            fs.create(f"/d/f{i}")
+        inodes = fs.readdir_stat("/d")
+        assert {i.name for i in inodes} == {f"f{i}" for i in range(5)}
+
+
+class TestDataOps:
+    def test_write_read_costs_time(self, fs):
+        fs.create("/f")
+        tw = fs.write("/f", 0, 1 * MiB)
+        tr = fs.read("/f", 0, 1 * MiB)
+        assert tw > 0.0
+        assert tr > 0.0
+
+    def test_read_of_unwritten_is_free(self, fs):
+        fs.create("/f")
+        assert fs.read("/f", 0, 4096) == 0.0
+
+    def test_open_charges_getlayout(self, fs):
+        fs.create("/f")
+        before = fs.mds.metrics.count("mds.op.open_getlayout")
+        fs.open("/f")
+        assert fs.mds.metrics.count("mds.op.open_getlayout") == before + 1
+
+    def test_sync_layout_to_mds(self, fs):
+        fs.create("/f")
+        fs.write("/f", 0, 256 * KiB)
+        fs.sync_layout_to_mds("/f")
+        inode = fs.stat("/f")
+        assert inode.extent_records == fs.file_handle("/f").extent_count
+
+    def test_fsync_delayed_policy(self):
+        fs = RedbudFileSystem(small_config(policy="delayed"))
+        fs.create("/f")
+        assert fs.write("/f", 0, 64 * KiB) == 0.0  # buffered
+        assert fs.fsync("/f") > 0.0
+
+    def test_path_normalization(self, fs):
+        fs.mkdir("/d")
+        fs.create("/d/../d/./f")
+        assert fs.exists("/d/f")

@@ -1,0 +1,156 @@
+"""Deeper embedded-directory behaviour: spill dynamics, content growth
+patterns, fragmentation degree, offset reuse, and getlayout footprints."""
+
+import pytest
+
+from repro.config import DiskParams, MetaParams
+from repro.meta.embedded_layout import EmbeddedLayout
+from repro.meta.inumber import decode_ino
+from repro.meta.mfs import MetadataFS
+
+
+def make_layout(**meta_kw) -> EmbeddedLayout:
+    params = MetaParams(
+        layout="embedded",
+        block_groups=4,
+        blocks_per_group=2048,
+        inodes_per_group=256,
+        journal_blocks=64,
+        dir_prealloc_blocks=2,
+        dir_prealloc_scale=2,
+        lazy_free_batch=4,
+        **meta_kw,
+    )
+    mfs = MetadataFS(params, DiskParams(capacity_blocks=16384))
+    return EmbeddedLayout(params, mfs)
+
+
+class TestContentGrowth:
+    def test_geometric_run_sizes(self):
+        layout = make_layout()
+        d, _ = layout.create_dir(layout.root, "d", now=0.0)
+        spb = layout.slots_per_block
+        # Fill far past the initial preallocation.
+        for i in range(spb * 2 * 8):
+            layout.create_file(d, f"f{i:05d}", now=0.0)
+        sizes = [c for _, c in d.content_runs]
+        # First run is the initial preallocation; each growth doubles the
+        # total (scale 2), so run sizes are non-decreasing.
+        assert sizes[0] == 2
+        assert sizes == sorted(sizes)
+        assert sum(sizes) * spb >= spb * 16
+
+    def test_offsets_are_dense_and_unique(self):
+        layout = make_layout()
+        d, _ = layout.create_dir(layout.root, "d", now=0.0)
+        inos = [layout.create_file(d, f"f{i}", now=0.0)[0].ino for i in range(50)]
+        offsets = [decode_ino(i)[1] for i in inos]
+        assert sorted(offsets) == list(range(50))
+
+    def test_content_reads_cover_only_used_blocks(self):
+        layout = make_layout()
+        d, _ = layout.create_dir(layout.root, "d", now=0.0)
+        spb = layout.slots_per_block
+        for i in range(spb + 1):  # just past the first block
+            layout.create_file(d, f"f{i}", now=0.0)
+        reads = layout._content_reads(d)
+        assert sum(c for _, c in reads) == 2  # two used blocks, not the
+        # whole preallocated run
+
+
+class TestFragmentationDegree:
+    def test_degree_tracks_records_per_file(self):
+        layout = make_layout()
+        d, _ = layout.create_dir(layout.root, "d", now=0.0)
+        for i in range(4):
+            layout.create_file(d, f"f{i}", now=0.0)
+        assert d.fragmentation_degree == 0.0
+        for i in range(4):
+            layout.set_extent_records(d, f"f{i}", 6)
+        assert d.fragmentation_degree == pytest.approx(6.0)
+        layout.delete_file(d, "f0")
+        assert d.fragmentation_degree == pytest.approx(6.0)  # 18 records / 3
+
+    def test_degree_resets_with_truncate(self):
+        layout = make_layout()
+        d, _ = layout.create_dir(layout.root, "d", now=0.0)
+        layout.create_file(d, "f", now=0.0)
+        layout.set_extent_records(d, "f", 100)
+        layout.set_extent_records(d, "f", 0)
+        assert d.fragmentation_degree == 0.0
+
+    def test_spill_grows_and_shrinks_with_records(self):
+        layout = make_layout()
+        d, _ = layout.create_dir(layout.root, "d", now=0.0)
+        layout.create_file(d, "f", now=0.0)
+        tail = layout.params.inode_tail_extents
+        per_block = layout.records_per_block
+        layout.set_extent_records(d, "f", tail + per_block + 1)
+        inode, _ = layout.stat(d, "f")
+        assert len(inode.spill_blocks) == 2
+        layout.set_extent_records(d, "f", tail + 1)
+        inode, _ = layout.stat(d, "f")
+        assert len(inode.spill_blocks) == 1
+
+    def test_delete_frees_spill_blocks(self):
+        layout = make_layout()
+        free0 = layout.mfs.free_data_blocks
+        d, _ = layout.create_dir(layout.root, "d", now=0.0)
+        layout.create_file(d, "f", now=0.0)
+        layout.set_extent_records(d, "f", 10_000)
+        assert layout.mfs.free_data_blocks < free0 - 2
+        layout.delete_file(d, "f")
+        # Spill blocks returned; only the directory content remains held.
+        held = free0 - layout.mfs.free_data_blocks
+        assert held == d.content_blocks
+
+
+class TestGetlayoutFootprint:
+    def test_spilled_mapping_adds_reads(self):
+        layout = make_layout()
+        d, _ = layout.create_dir(layout.root, "d", now=0.0)
+        layout.create_file(d, "small", now=0.0)
+        layout.create_file(d, "large", now=0.0)
+        layout.set_extent_records(d, "small", 2)
+        layout.set_extent_records(
+            d, "large", layout.params.inode_tail_extents + 1
+        )
+        _, plan_small = layout.getlayout(d, "small")
+        _, plan_large = layout.getlayout(d, "large")
+        assert plan_large.read_block_count() == plan_small.read_block_count() + 1
+
+    def test_readdir_stat_includes_spills(self):
+        layout = make_layout()
+        d, _ = layout.create_dir(layout.root, "d", now=0.0)
+        layout.create_file(d, "f", now=0.0)
+        _, plan_before = layout.readdir_stat(d)
+        layout.set_extent_records(d, "f", layout.params.inode_tail_extents + 1)
+        _, plan_after = layout.readdir_stat(d)
+        assert plan_after.read_block_count() == plan_before.read_block_count() + 1
+
+
+class TestOffsetReuse:
+    def test_lazy_freed_offsets_recycle_before_growth(self):
+        layout = make_layout()
+        d, _ = layout.create_dir(layout.root, "d", now=0.0)
+        for i in range(8):
+            layout.create_file(d, f"f{i}", now=0.0)
+        blocks_before = d.content_blocks
+        for i in range(4):  # exactly one lazy-free batch
+            layout.delete_file(d, f"f{i}")
+        for i in range(4):
+            layout.create_file(d, f"g{i}", now=0.0)
+        assert d.content_blocks == blocks_before  # no growth needed
+        assert d.next_offset == 8  # recycled, not extended
+
+    def test_rename_source_slot_is_lazy_freed(self):
+        layout = make_layout()
+        d1, _ = layout.create_dir(layout.root, "d1", now=0.0)
+        d2, _ = layout.create_dir(layout.root, "d2", now=0.0)
+        for i in range(3):
+            layout.create_file(d1, f"f{i}", now=0.0)
+        layout.rename(d1, "f0", d2, "f0", now=1.0)
+        assert len(d1.pending_free) == 1
+        layout.delete_file(d1, "f1")
+        layout.delete_file(d1, "f2")
+        assert len(d1.pending_free) == 3  # batch of 4 not yet reached

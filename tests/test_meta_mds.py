@@ -1,0 +1,135 @@
+"""Metadata server: plan execution, journaling, checkpoints, timing."""
+
+import pytest
+
+from repro.errors import FileExists, FileNotFound
+from repro.meta.mds import MetadataServer
+
+from tests.conftest import small_config
+
+
+@pytest.fixture(params=["normal", "embedded"])
+def mds(request) -> MetadataServer:
+    return MetadataServer(small_config(layout=request.param))
+
+
+class TestOperations:
+    def test_namespace_roundtrip(self, mds):
+        d = mds.mkdir(mds.root, "work")
+        mds.create(d, "a")
+        mds.create(d, "b")
+        assert set(mds.readdir(d)) == {"a", "b"}
+        mds.utime(d, "a")
+        inode = mds.stat(d, "a")
+        assert inode.mtime > 0.0
+        mds.delete(d, "a")
+        assert mds.readdir(d) == ["b"]
+
+    def test_duplicate_create_raises(self, mds):
+        mds.create(mds.root, "f")
+        with pytest.raises(FileExists):
+            mds.create(mds.root, "f")
+
+    def test_missing_raises(self, mds):
+        with pytest.raises(FileNotFound):
+            mds.stat(mds.root, "nope")
+
+    def test_readdir_stat_aggregation_saves_overhead(self, mds):
+        d = mds.mkdir(mds.root, "work")
+        for i in range(50):
+            mds.create(d, f"f{i}")
+        mds.flush()
+        mds.drop_caches()
+        t0 = mds.elapsed_s
+        mds.readdir_stat(d)
+        aggregated = mds.elapsed_s - t0
+
+        mds.drop_caches()
+        t0 = mds.elapsed_s
+        mds.readdir_then_stats(d)
+        separate = mds.elapsed_s - t0
+        # One request vs 51 requests of protocol overhead.
+        assert aggregated < separate
+
+    def test_open_getlayout(self, mds):
+        mds.create(mds.root, "f")
+        mds.set_extent_records(mds.root, "f", 5)
+        inode = mds.open_getlayout(mds.root, "f")
+        assert inode.extent_records == 5
+
+    def test_rename(self, mds):
+        d1 = mds.mkdir(mds.root, "d1")
+        d2 = mds.mkdir(mds.root, "d2")
+        mds.create(d1, "f")
+        mds.rename(d1, "f", d2, "g")
+        assert mds.readdir(d1) == []
+        assert mds.readdir(d2) == ["g"]
+
+
+class TestJournalAndCheckpoint:
+    def test_mutations_journal(self, mds):
+        mds.create(mds.root, "f")
+        assert mds.metrics.count("mds.journal_writes") >= 1
+
+    def test_reads_do_not_journal(self, mds):
+        mds.create(mds.root, "f")
+        before = mds.metrics.count("mds.journal_writes")
+        mds.stat(mds.root, "f")
+        mds.readdir(mds.root)
+        assert mds.metrics.count("mds.journal_writes") == before
+
+    def test_checkpoint_fires_on_interval(self, mds):
+        interval = mds.config.meta.journal_interval_ops
+        for i in range(interval):
+            mds.create(mds.root, f"f{i}")
+        assert mds.metrics.count("mds.checkpoints") >= 1
+
+    def test_flush_empties_dirty_set(self, mds):
+        mds.create(mds.root, "f")
+        mds.flush()
+        assert mds._dirty == set()
+        assert mds.checkpoint() == 0
+
+    def test_elapsed_monotonic(self, mds):
+        t0 = mds.elapsed_s
+        mds.create(mds.root, "f")
+        t1 = mds.elapsed_s
+        assert t1 > t0
+        mds.stat(mds.root, "f")
+        assert mds.elapsed_s >= t1
+
+    def test_reset_timeline_flushes_and_zeros(self, mds):
+        mds.create(mds.root, "f")
+        mds.reset_timeline()
+        assert mds.elapsed_s == 0.0
+        # State survives the timeline reset.
+        assert mds.stat(mds.root, "f").name == "f"
+
+
+class TestLayoutComparison:
+    """Cross-layout invariants the paper's Fig. 8 relies on."""
+
+    def test_embedded_checkpoints_fewer_blocks_on_create(self):
+        counts = {}
+        for layout in ("normal", "embedded"):
+            mds = MetadataServer(small_config(layout=layout))
+            d = mds.mkdir(mds.root, "work")
+            for i in range(64):
+                mds.create(d, f"f{i}")
+            mds.flush()
+            counts[layout] = mds.metrics.count("mds.checkpoint_blocks")
+        assert counts["embedded"] < counts["normal"]
+
+    def test_embedded_reads_fewer_blocks_on_readdir_stat(self):
+        counts = {}
+        for layout in ("normal", "embedded"):
+            mds = MetadataServer(small_config(layout=layout))
+            d = mds.mkdir(mds.root, "work")
+            for i in range(128):
+                mds.create(d, f"f{i}")
+            mds.flush()
+            mds.drop_caches()
+            snap = mds.metrics.snapshot()
+            mds.readdir_stat(d)
+            counts[layout] = mds.metrics.since(snap).count("disk.requests")
+        assert counts["embedded"] < counts["normal"]

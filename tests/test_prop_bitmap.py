@@ -1,0 +1,101 @@
+"""Property-based tests for the block bitmap."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.block.bitmap import BlockBitmap
+from repro.errors import NoSpaceError
+
+SIZE = 300
+
+
+class BitmapMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.bm = BlockBitmap(size=SIZE, bits_per_block=64)
+        self.model: set[int] = set()
+
+    @rule(
+        count=st.integers(min_value=1, max_value=24),
+        hint=st.integers(min_value=0, max_value=SIZE - 1),
+    )
+    def alloc_run(self, count: int, hint: int) -> None:
+        try:
+            start = self.bm.find_free_run(count, hint=hint)
+        except NoSpaceError:
+            # Verify there truly is no free run of that length.
+            free = sorted(set(range(SIZE)) - self.model)
+            longest = run = 0
+            prev = None
+            for b in free:
+                run = run + 1 if prev is not None and b == prev + 1 else 1
+                longest = max(longest, run)
+                prev = b
+            assert longest < count
+            return
+        blocks = set(range(start, start + count))
+        assert not blocks & self.model
+        self.bm.set_range(start, count)
+        self.model |= blocks
+
+    @rule(data=st.data())
+    def free_some(self, data) -> None:
+        if not self.model:
+            return
+        b = data.draw(st.sampled_from(sorted(self.model)))
+        self.bm.clear_range(b, 1)
+        self.model.discard(b)
+
+    @invariant()
+    def counts_match(self) -> None:
+        assert self.bm.used_count == len(self.model)
+        assert self.bm.free_count == SIZE - len(self.model)
+
+    @invariant()
+    def bits_match(self) -> None:
+        for b in range(0, SIZE, 37):  # spot-check
+            assert self.bm.is_used(b) == (b in self.model)
+
+
+TestBitmapMachine = BitmapMachine.TestCase
+TestBitmapMachine.settings = settings(max_examples=40, stateful_step_count=40)
+
+
+@given(
+    st.integers(min_value=1, max_value=SIZE),
+    st.data(),
+)
+def test_find_free_run_result_is_actually_free(count, data):
+    bm = BlockBitmap(size=SIZE, bits_per_block=64)
+    # Pre-occupy a random pattern.
+    mask = np.zeros(SIZE, dtype=bool)
+    n_used = data.draw(st.integers(min_value=0, max_value=SIZE // 2))
+    idx = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=SIZE - 1),
+            min_size=n_used,
+            max_size=n_used,
+            unique=True,
+        )
+    )
+    mask[idx] = True
+    bm.occupy_mask(mask)
+    hint = data.draw(st.integers(min_value=0, max_value=SIZE - 1))
+    try:
+        start = bm.find_free_run(count, hint=hint)
+    except NoSpaceError:
+        return
+    assert bm.is_range_free(start, count)
+
+
+@given(st.data())
+def test_dirty_blocks_cover_exact_bitmap_blocks(data):
+    bm = BlockBitmap(size=SIZE, bits_per_block=64)
+    start = data.draw(st.integers(min_value=0, max_value=SIZE - 1))
+    count = data.draw(st.integers(min_value=1, max_value=SIZE - start))
+    dirty = bm.set_range(start, count)
+    assert dirty == sorted({b // 64 for b in range(start, start + count)})

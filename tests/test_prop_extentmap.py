@@ -1,0 +1,120 @@
+"""Property-based tests for the extent map.
+
+Invariants: sorted/non-overlapping/merged structure; lookup agrees with a
+brute-force dict model; remove+holes partition the logical space.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.block.extent import Extent, ExtentFlags, ExtentMap
+from repro.errors import ExtentError
+
+LOGICAL_SPACE = 256
+
+
+@st.composite
+def extent_batches(draw):
+    """Non-overlapping logical extents with arbitrary physical placement."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=LOGICAL_SPACE),
+                min_size=2 * n,
+                max_size=2 * n,
+                unique=True,
+            )
+        )
+    )
+    extents = []
+    for i in range(0, len(cuts) - 1, 2):
+        logical, end = cuts[i], cuts[i + 1]
+        if end <= logical:
+            continue
+        physical = draw(st.integers(min_value=0, max_value=10_000))
+        unwritten = draw(st.booleans())
+        extents.append(
+            Extent(
+                logical,
+                physical,
+                end - logical,
+                ExtentFlags.UNWRITTEN if unwritten else ExtentFlags.NONE,
+            )
+        )
+    return extents
+
+
+@given(extent_batches())
+@settings(max_examples=200)
+def test_insert_preserves_structure_and_content(extents):
+    m = ExtentMap()
+    model: dict[int, int] = {}
+    for e in extents:
+        m.insert(e)
+        for b in range(e.logical, e.logical_end):
+            model[b] = e.physical_for(b)
+    m.validate()
+    assert m.mapped_blocks == len(model)
+    for b, phys in model.items():
+        ext = m.lookup_block(b)
+        assert ext is not None
+        assert ext.physical_for(b) == phys
+    # Holes are exactly the unmapped blocks.
+    holes = m.holes_in_range(0, LOGICAL_SPACE)
+    hole_blocks = {b for s, c in holes for b in range(s, s + c)}
+    assert hole_blocks == set(range(LOGICAL_SPACE)) - set(model)
+
+
+@given(extent_batches(), st.integers(0, LOGICAL_SPACE - 1), st.integers(1, 64))
+@settings(max_examples=200)
+def test_remove_range_partitions(extents, start, count):
+    m = ExtentMap()
+    for e in extents:
+        m.insert(e)
+    before = m.mapped_blocks
+    removed = m.remove_range(start, count)
+    m.validate()
+    removed_blocks = sum(e.length for e in removed)
+    assert m.mapped_blocks == before - removed_blocks
+    assert m.lookup_range(start, count) == []
+
+
+@given(extent_batches(), st.integers(0, LOGICAL_SPACE - 1), st.integers(1, 64))
+@settings(max_examples=200)
+def test_mark_written_is_idempotent_and_flag_only(extents, start, count):
+    m = ExtentMap()
+    for e in extents:
+        m.insert(e)
+    mapping_before = {
+        b: m.lookup_block(b).physical_for(b)
+        for e in m.extents()
+        for b in range(e.logical, e.logical_end)
+    }
+    m.mark_written(start, count)
+    m.validate()
+    once = [(e.logical, e.physical, e.length, e.flags) for e in m.extents()]
+    m.mark_written(start, count)
+    twice = [(e.logical, e.physical, e.length, e.flags) for e in m.extents()]
+    assert once == twice
+    # Physical mapping is untouched; only flags may change.
+    for b, phys in mapping_before.items():
+        assert m.lookup_block(b).physical_for(b) == phys
+    for e in m.lookup_range(start, count):
+        assert not e.unwritten
+
+
+@given(extent_batches())
+@settings(max_examples=100)
+def test_reinserting_any_mapped_block_raises(extents):
+    m = ExtentMap()
+    for e in extents:
+        m.insert(e)
+    for e in m.extents()[:3]:
+        try:
+            m.insert(Extent(e.logical, 99_999, 1))
+        except ExtentError:
+            continue
+        raise AssertionError("overlap accepted")

@@ -1,0 +1,99 @@
+"""Property-based tests for the free-extent set.
+
+Invariant under any sequence of allocations and frees: the set stays
+sorted, coalesced and in-range, and block conservation holds (free +
+allocated == region size).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.block.freelist import FreeExtentSet
+from repro.errors import NoSpaceError
+
+REGION = 512
+
+
+class FreeListMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.fes = FreeExtentSet(base=0, size=REGION)
+        self.allocated: list[tuple[int, int]] = []
+
+    @rule(
+        hint=st.integers(min_value=0, max_value=REGION - 1),
+        count=st.integers(min_value=1, max_value=64),
+    )
+    def allocate(self, hint: int, count: int) -> None:
+        try:
+            start, got = self.fes.allocate_near(hint, count)
+        except NoSpaceError:
+            assert self.fes.largest_run == 0
+            return
+        assert 1 <= got <= count
+        self.allocated.append((start, got))
+
+    @rule(data=st.data())
+    def free_one(self, data) -> None:
+        if not self.allocated:
+            return
+        idx = data.draw(st.integers(min_value=0, max_value=len(self.allocated) - 1))
+        start, count = self.allocated.pop(idx)
+        self.fes.free(start, count)
+
+    @rule(data=st.data())
+    def free_partial(self, data) -> None:
+        if not self.allocated:
+            return
+        idx = data.draw(st.integers(min_value=0, max_value=len(self.allocated) - 1))
+        start, count = self.allocated[idx]
+        if count < 2:
+            return
+        cut = data.draw(st.integers(min_value=1, max_value=count - 1))
+        # Free the tail [start+cut, start+count); keep the head allocated.
+        self.fes.free(start + cut, count - cut)
+        self.allocated[idx] = (start, cut)
+
+    @invariant()
+    def structure_valid(self) -> None:
+        self.fes.validate()
+
+    @invariant()
+    def conservation(self) -> None:
+        held = sum(c for _, c in self.allocated)
+        assert self.fes.free_blocks + held == REGION
+
+    @invariant()
+    def no_allocated_block_is_free(self) -> None:
+        for start, count in self.allocated:
+            assert not self.fes.is_free(start, 1)
+            assert not self.fes.is_free(start + count - 1, 1)
+
+
+TestFreeListMachine = FreeListMachine.TestCase
+TestFreeListMachine.settings = settings(max_examples=60, stateful_step_count=40)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=REGION - 1),
+            st.integers(min_value=1, max_value=32),
+        ),
+        max_size=30,
+    )
+)
+def test_allocate_never_overlaps(requests):
+    fes = FreeExtentSet(0, REGION)
+    seen: set[int] = set()
+    for hint, count in requests:
+        try:
+            start, got = fes.allocate_near(hint, count)
+        except NoSpaceError:
+            break
+        blocks = set(range(start, start + got))
+        assert not blocks & seen
+        seen |= blocks

@@ -1,0 +1,127 @@
+"""Stateful property test: both directory layouts against a dict model.
+
+Random creates/deletes/renames/utimes across a small directory tree must
+keep each layout's namespace identical to a plain dictionary model, and
+the MDS fsck must stay clean throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.errors import FileExists, FileNotFound
+from repro.fs.verify import check_mds
+from repro.meta.mds import MetadataServer
+
+from tests.conftest import small_config
+
+_NAMES = [f"n{i}" for i in range(12)]
+
+
+class _NamespaceMachine(RuleBasedStateMachine):
+    layout = "embedded"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.mds = MetadataServer(small_config(layout=self.layout))
+        self.dirs = {"root": self.mds.root, "a": None, "b": None}
+        self.dirs["a"] = self.mds.mkdir(self.mds.root, "a")
+        self.dirs["b"] = self.mds.mkdir(self.mds.root, "b")
+        # model: dirkey -> set of names
+        self.model: dict[str, set[str]] = {"root": set(), "a": set(), "b": set()}
+
+    @rule(d=st.sampled_from(["root", "a", "b"]), name=st.sampled_from(_NAMES))
+    def create(self, d: str, name: str) -> None:
+        if name in self.model[d] or (d == "root" and name in ("a", "b")):
+            with pytest.raises(FileExists):
+                self.mds.create(self.dirs[d], name)
+            return
+        # 'a'/'b' live in root as directories; avoid name collisions there.
+        self.mds.create(self.dirs[d], name)
+        self.model[d].add(name)
+
+    @rule(d=st.sampled_from(["root", "a", "b"]), name=st.sampled_from(_NAMES))
+    def delete(self, d: str, name: str) -> None:
+        if name not in self.model[d]:
+            with pytest.raises(FileNotFound):
+                self.mds.delete(self.dirs[d], name)
+            return
+        self.mds.delete(self.dirs[d], name)
+        self.model[d].discard(name)
+
+    @rule(d=st.sampled_from(["root", "a", "b"]), name=st.sampled_from(_NAMES))
+    def utime(self, d: str, name: str) -> None:
+        if name not in self.model[d]:
+            with pytest.raises(FileNotFound):
+                self.mds.utime(self.dirs[d], name)
+            return
+        before = self.mds.stat(self.dirs[d], name).mtime
+        self.mds.utime(self.dirs[d], name)
+        assert self.mds.stat(self.dirs[d], name).mtime >= before
+
+    @rule(
+        src=st.sampled_from(["root", "a", "b"]),
+        dst=st.sampled_from(["root", "a", "b"]),
+        name=st.sampled_from(_NAMES),
+        newname=st.sampled_from(_NAMES),
+    )
+    def rename(self, src: str, dst: str, name: str, newname: str) -> None:
+        ok = (
+            name in self.model[src]
+            and newname not in self.model[dst]
+            and not (dst == "root" and newname in ("a", "b"))
+            and not (src == dst and name == newname)
+        )
+        if not ok:
+            return
+        self.mds.rename(self.dirs[src], name, self.dirs[dst], newname)
+        self.model[src].discard(name)
+        self.model[dst].add(newname)
+
+    @rule()
+    def checkpoint_and_drop_caches(self) -> None:
+        self.mds.flush()
+        self.mds.drop_caches()
+
+    @invariant()
+    def namespace_matches_model(self) -> None:
+        for d, names in self.model.items():
+            listed = set(self.mds.readdir(self.dirs[d]))
+            if d == "root":
+                listed -= {"a", "b"}
+            assert listed == names
+
+    @invariant()
+    def readdir_stat_consistent(self) -> None:
+        for d, names in self.model.items():
+            inodes = {
+                i.name
+                for i in self.mds.readdir_stat(self.dirs[d])
+                if not i.is_dir
+            }
+            assert inodes == names
+
+    @invariant()
+    def fsck_clean(self) -> None:
+        check_mds(self.mds).raise_if_dirty()
+
+
+class EmbeddedNamespaceMachine(_NamespaceMachine):
+    layout = "embedded"
+
+
+class NormalNamespaceMachine(_NamespaceMachine):
+    layout = "normal"
+
+
+TestEmbeddedNamespace = EmbeddedNamespaceMachine.TestCase
+TestEmbeddedNamespace.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None
+)
+TestNormalNamespace = NormalNamespaceMachine.TestCase
+TestNormalNamespace.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None
+)

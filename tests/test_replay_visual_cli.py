@@ -1,0 +1,148 @@
+"""Trace replay, layout visualization, and the command-line interface."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.cli import main
+from repro.fs.dataplane import DataPlane
+from repro.sim.visual import extent_histogram, layout_map, utilization_bars
+from repro.units import KiB, MiB
+from repro.workloads.replay import dump_trace, load_trace, read_trace, replay, save_trace
+from repro.workloads.traces import TraceRecord, synth_checkpoint_trace
+
+from tests.conftest import small_config
+
+
+class TestTraceFormat:
+    def test_roundtrip(self):
+        records = synth_checkpoint_trace(4, 64 * KiB, 16 * KiB, jitter=0.2, seed=3)
+        parsed = load_trace(dump_trace(records))
+        assert parsed == records
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# comment\n\n0,1,write,0,4096\n"
+        records = load_trace(text)
+        assert len(records) == 1
+        assert records[0].proc == 1
+
+    def test_bad_field_count_rejected(self):
+        with pytest.raises(ConfigError):
+            load_trace("1,2,3\n")
+
+    def test_bad_int_rejected(self):
+        with pytest.raises(ConfigError):
+            load_trace("x,1,write,0,4096\n")
+
+    def test_file_roundtrip(self, tmp_path):
+        records = [TraceRecord(0, 0, "write", 0, 4096)]
+        path = tmp_path / "t.trace"
+        save_trace(records, str(path))
+        assert read_trace(str(path)) == records
+
+
+class TestReplay:
+    def test_replay_writes_everything(self):
+        plane = DataPlane(small_config())
+        records = synth_checkpoint_trace(4, 256 * KiB, 16 * KiB)
+        f = plane.create_file("/t", expected_bytes=1 * MiB)
+        result = replay(plane, f, records, skip_probability=0.0)
+        assert result.bytes_moved == 1 * MiB
+        assert f.written_blocks == 256
+
+    def test_replay_validates_threads(self):
+        plane = DataPlane(small_config())
+        f = plane.create_file("/t")
+        with pytest.raises(ConfigError):
+            replay(plane, f, [], threads_per_client=0)
+
+
+class TestVisual:
+    @pytest.fixture
+    def plane_file(self):
+        plane = DataPlane(small_config(policy="ondemand"))
+        f = plane.create_file("/v")
+        for i in range(16):
+            plane.write(f, 1, i * 64 * KiB, 64 * KiB)
+        return plane, f
+
+    def test_layout_map_width_and_glyphs(self, plane_file):
+        plane, f = plane_file
+        art = layout_map(plane, f, slot=0, width=32)
+        assert len(art) == 32
+        assert any(c != "." for c in art)
+
+    def test_layout_map_empty_file(self):
+        plane = DataPlane(small_config())
+        f = plane.create_file("/e")
+        assert layout_map(plane, f, width=10) == "." * 10
+
+    def test_layout_map_validation(self, plane_file):
+        plane, f = plane_file
+        with pytest.raises(ValueError):
+            layout_map(plane, f, slot=99)
+        with pytest.raises(ValueError):
+            layout_map(plane, f, width=0)
+
+    def test_extent_histogram_counts(self, plane_file):
+        _, f = plane_file
+        out = extent_histogram(f)
+        assert f"extents: {f.extent_count}" in out
+
+    def test_extent_histogram_empty(self):
+        plane = DataPlane(small_config())
+        f = plane.create_file("/e")
+        assert extent_histogram(f) == "(no extents)"
+
+    def test_utilization_bars(self, plane_file):
+        plane, _ = plane_file
+        out = utilization_bars(plane, width=10)
+        assert out.count("disk") == plane.config.ndisks
+
+
+class TestCli:
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "redbud-mif" in out
+        assert "embedded" in out
+
+    def test_microbench(self, capsys):
+        rc = main(
+            ["microbench", "--streams", "8", "--file-mib", "16", "--policy", "ondemand"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "read-back" in out
+        assert "extents:" in out
+
+    def test_trace_synth_and_replay(self, tmp_path, capsys):
+        path = str(tmp_path / "x.trace")
+        assert main(
+            ["trace-synth", path, "--procs", "4", "--region-kib", "256"]
+        ) == 0
+        assert main(["trace-replay", path, "--policies", "ondemand"]) == 0
+        out = capsys.readouterr().out
+        assert "extents" in out
+
+    def test_claims(self, capsys):
+        # Tiny scale just exercises the command path.
+        assert main(["claims", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "interference" in out
+        assert "prealloc waste" in out
+
+    def test_defrag(self, capsys):
+        assert main(["defrag", "--streams", "8", "--file-mib", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "before:" in out
+        assert "after:" in out
+        assert "defrag: moved" in out
+
+    def test_fsck_clean(self, capsys):
+        assert main(["fsck"]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors" in out

@@ -1,0 +1,181 @@
+"""Simulation substrate: clock, metrics, statistics, report rendering."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.metrics import Metrics, ThroughputResult
+from repro.sim.report import Table, format_pct, format_series
+from repro.sim.stats import geometric_mean, ratio, speedup, summarize
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        c = SimClock()
+        c.advance(1.5)
+        c.advance(0.5)
+        assert c.now == 2.0
+
+    def test_advance_returns_new_time(self):
+        assert SimClock().advance(3.0) == 3.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to_forward_only(self):
+        c = SimClock(start=5.0)
+        c.advance_to(3.0)  # no-op
+        assert c.now == 5.0
+        c.advance_to(7.0)
+        assert c.now == 7.0
+
+    def test_reset(self):
+        c = SimClock(start=9.0)
+        c.reset()
+        assert c.now == 0.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock(start=-1.0)
+
+
+class TestMetrics:
+    def test_counter_starts_at_zero(self):
+        assert Metrics().count("nope") == 0
+
+    def test_incr(self):
+        m = Metrics()
+        m.incr("x")
+        m.incr("x", 4)
+        assert m.count("x") == 5
+
+    def test_accumulator(self):
+        m = Metrics()
+        m.add("t", 0.25)
+        m.add("t", 0.25)
+        assert m.total("t") == 0.5
+
+    def test_snapshot_diff(self):
+        m = Metrics()
+        m.incr("a", 3)
+        snap = m.snapshot()
+        m.incr("a", 2)
+        m.incr("b")
+        delta = m.since(snap)
+        assert delta.count("a") == 2
+        assert delta.count("b") == 1
+
+    def test_snapshot_is_immutable_copy(self):
+        m = Metrics()
+        m.incr("a")
+        snap = m.snapshot()
+        m.incr("a")
+        assert snap.count("a") == 1
+
+    def test_reset(self):
+        m = Metrics()
+        m.incr("a")
+        m.add("b", 1.0)
+        m.reset()
+        assert m.count("a") == 0
+        assert m.total("b") == 0.0
+
+    def test_as_dict(self):
+        m = Metrics()
+        m.incr("a", 2)
+        m.add("b", 0.5)
+        assert m.as_dict() == {"a": 2, "b": 0.5}
+
+
+class TestThroughputResult:
+    def test_throughput(self):
+        r = ThroughputResult(bytes_moved=100, elapsed=2.0)
+        assert r.throughput == 50.0
+
+    def test_zero_elapsed(self):
+        assert ThroughputResult(bytes_moved=100, elapsed=0.0).throughput == 0.0
+
+    def test_mib_per_s(self):
+        r = ThroughputResult(bytes_moved=10 * 1024 * 1024, elapsed=1.0)
+        assert r.mib_per_s == pytest.approx(10.0)
+
+    def test_ops_per_s(self):
+        r = ThroughputResult(bytes_moved=0, elapsed=2.0, ops=10)
+        assert r.ops_per_s == 5.0
+
+
+class TestStats:
+    def test_summarize(self):
+        s = summarize([2.0, 4.0, 6.0])
+        assert s.n == 3
+        assert s.mean == 4.0
+        assert s.minimum == 2.0
+        assert s.maximum == 6.0
+        assert s.std == pytest.approx(math.sqrt(8.0 / 3.0))
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_cv_zero_mean(self):
+        assert summarize([0.0, 0.0]).cv == 0.0
+
+    def test_speedup(self):
+        assert speedup(100.0, 119.0) == pytest.approx(0.19)
+
+    def test_speedup_needs_positive_base(self):
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+
+    def test_ratio_zero_denominator(self):
+        assert ratio(1.0, 0.0) == math.inf
+        assert ratio(0.0, 0.0) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestReport:
+    def test_table_renders_rows(self):
+        t = Table("T", ["a", "b"])
+        t.add_row(["x", 1])
+        out = t.render()
+        assert "T" in out
+        assert "x" in out
+        assert "1" in out
+
+    def test_row_width_mismatch_rejected(self):
+        t = Table("T", ["a"])
+        with pytest.raises(ValueError):
+            t.add_row(["x", "y"])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table("T", [])
+
+    def test_float_formatting(self):
+        t = Table("T", ["v"])
+        t.add_row([1.23456])
+        assert "1.23" in t.render()
+
+    def test_format_series(self):
+        s = format_series("tput", [1, 2], [1.0, 2.0], "MiB/s")
+        assert s == "tput: 1=1.00 MiB/s, 2=2.00 MiB/s"
+
+    def test_format_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1], [1.0, 2.0])
+
+    def test_format_pct(self):
+        assert format_pct(0.19) == "+19.0%"
+        assert format_pct(-0.43) == "-43.0%"

@@ -1,0 +1,164 @@
+"""Metadata workloads: Metarates, PostMark, applications, aging."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fs.redbud import RedbudFileSystem
+from repro.meta.mds import MetadataServer
+from repro.workloads.aging import age_metadata_fs
+from repro.workloads.apps import KernelTree, MakeApp, MakeCleanApp, TarApp
+from repro.workloads.metarates import MetaratesWorkload
+from repro.workloads.postmark import PostMarkConfig, PostMarkWorkload
+
+from tests.conftest import small_config
+
+
+class TestMetarates:
+    @pytest.fixture
+    def mds(self) -> MetadataServer:
+        return MetadataServer(small_config(layout="embedded"))
+
+    def test_full_cycle(self, mds):
+        wl = MetaratesWorkload(nclients=3, files_per_dir=20)
+        dirs = wl.setup_dirs(mds)
+        assert len(dirs) == 3
+        created = wl.run_create(mds, dirs)
+        assert created.ops == 60
+        assert created.ops_per_s > 0
+        utimed = wl.run_utime(mds, dirs)
+        assert utimed.ops == 60
+        listed = wl.run_readdir_stat(mds, dirs)
+        assert listed.ops == 3 * 21  # readdir + 20 stats each
+        deleted = wl.run_delete(mds, dirs)
+        assert deleted.ops == 60
+        for d in dirs:
+            assert mds.readdir(d) == []
+
+    def test_clients_interleave_at_the_mds(self, mds):
+        # Creation order alternates clients: file i of every client exists
+        # before file i+1 of any client.
+        wl = MetaratesWorkload(nclients=2, files_per_dir=2)
+        dirs = wl.setup_dirs(mds)
+        wl.run_create(mds, dirs)
+        inodes = [mds.stat(dirs[c], wl._filename(c, i)) for i in (0, 1) for c in (0, 1)]
+        ctimes = [i.ctime for i in inodes]
+        assert ctimes == sorted(ctimes)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MetaratesWorkload(nclients=0)
+
+
+class TestPostMark:
+    def test_run_accounts_transactions(self):
+        fs = RedbudFileSystem(small_config())
+        cfg = PostMarkConfig(files=20, transactions=40, nclients=2, seed=1)
+        res = PostMarkWorkload(cfg).run(fs)
+        assert res.creates >= 20
+        assert res.reads + res.appends > 0
+        assert res.elapsed_s > 0
+        assert res.elapsed_s == pytest.approx(res.mds_s + res.data_s)
+
+    def test_teardown_deletes_everything(self):
+        fs = RedbudFileSystem(small_config())
+        cfg = PostMarkConfig(files=20, transactions=10, nclients=2, seed=1)
+        res = PostMarkWorkload(cfg).run(fs)
+        assert res.creates == res.deletes
+        for c in range(2):
+            assert fs.readdir(f"/pm{c:03d}") == []
+
+    def test_deterministic_per_seed(self):
+        r = []
+        for _ in range(2):
+            fs = RedbudFileSystem(small_config())
+            res = PostMarkWorkload(
+                PostMarkConfig(files=20, transactions=30, nclients=2, seed=5)
+            ).run(fs)
+            r.append((res.creates, res.deletes, res.reads, res.appends, res.elapsed_s))
+        assert r[0] == r[1]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PostMarkConfig(files=21, nclients=2)
+        with pytest.raises(ConfigError):
+            PostMarkConfig(min_size=0)
+
+
+class TestApps:
+    @pytest.fixture
+    def populated(self):
+        fs = RedbudFileSystem(small_config())
+        tree = KernelTree(files_per_dir=10, dirs=2, seed=0)
+        tree.populate(fs, "/src")
+        return fs, tree
+
+    def test_populate_creates_tree(self, populated):
+        fs, tree = populated
+        assert len(fs.readdir("/src/dir000")) == 10
+        assert fs.stat("/src/dir000/src00000.c").name == "src00000.c"
+
+    def test_tar_reads_every_file(self, populated):
+        fs, tree = populated
+        res = TarApp(tree).run(fs, "/src")
+        assert res.ops == tree.nfiles + tree.dirs + 1  # files + readdirs + archive
+        assert res.elapsed_s > 0
+        assert fs.exists("/src/archive.tar.gz")
+
+    def test_make_creates_objects(self, populated):
+        fs, tree = populated
+        res = MakeApp(tree).run(fs, "/src")
+        assert res.ops == tree.nfiles
+        assert fs.exists("/src/dir000/src00000.o")
+        # make is CPU-dominated (§V.D.3).
+        assert res.cpu_s > res.mds_s + res.data_s
+
+    def test_make_clean_removes_objects(self, populated):
+        fs, tree = populated
+        MakeApp(tree).run(fs, "/src")
+        res = MakeCleanApp(tree).run(fs, "/src")
+        assert res.ops == tree.nfiles
+        assert not any(n.endswith(".o") for n in fs.readdir("/src/dir000"))
+
+
+class TestAging:
+    def test_synthetic_reaches_target(self):
+        mds = MetadataServer(small_config())
+        u = age_metadata_fs(mds, 0.6, seed=1)
+        assert 0.5 < u < 0.7
+
+    def test_synthetic_fragments_free_space(self):
+        mds = MetadataServer(small_config())
+        age_metadata_fs(mds, 0.6, mean_free_run=2.0, seed=1)
+        # Largest contiguous free run is tiny relative to the free space.
+        bitmap = mds.mfs._block_bitmaps[0]
+        import numpy as np
+        free = ~bitmap._used
+        padded = np.concatenate(([False], free, [False]))
+        edges = np.flatnonzero(padded[1:] != padded[:-1])
+        longest = int(max(edges[1::2] - edges[::2]))
+        assert longest < 64
+
+    def test_churn_mode_matches_synthetic_target(self):
+        mds = MetadataServer(small_config())
+        u = age_metadata_fs(mds, 0.3, mode="churn", seed=1)
+        assert u >= 0.3
+
+    def test_zero_target_is_noop(self):
+        mds = MetadataServer(small_config())
+        before = mds.mfs.data_utilization
+        assert age_metadata_fs(mds, 0.0) == before
+
+    def test_aged_fs_still_functions(self):
+        mds = MetadataServer(small_config())
+        age_metadata_fs(mds, 0.7, seed=1)
+        d = mds.mkdir(mds.root, "work")
+        for i in range(50):
+            mds.create(d, f"f{i}")
+        assert len(mds.readdir(d)) == 50
+
+    def test_validation(self):
+        mds = MetadataServer(small_config())
+        with pytest.raises(ConfigError):
+            age_metadata_fs(mds, 1.5)
+        with pytest.raises(ConfigError):
+            age_metadata_fs(mds, 0.5, mode="magic")
