@@ -6,13 +6,13 @@ make-clean.  Make program, on the other hand, generates CPU-intensive
 workload ... we see a much smaller improvement of only 4%."
 """
 
-from repro.core.experiments import postmark_apps
+from repro.core.runners import postmark_apps
 from repro.sim.report import Table, format_pct
 
 
 def test_fig10_postmark_apps(benchmark, bench_scale, bench_seed):
     result = benchmark.pedantic(
-        postmark_apps,
+        lambda **kw: postmark_apps(**kw).payload,
         kwargs=dict(scale=bench_scale, seed=bench_seed),
         iterations=1,
         rounds=1,

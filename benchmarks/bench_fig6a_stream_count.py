@@ -6,13 +6,13 @@ processes respectively"; static (fallocate) is the contiguous upper bound,
 2-17% above on-demand.
 """
 
-from repro.core.experiments import micro_stream_count
+from repro.core.runners import micro_stream_count
 from repro.sim.report import Table, format_pct
 
 
 def test_fig6a_stream_count(benchmark, bench_scale, bench_seed):
     result = benchmark.pedantic(
-        micro_stream_count,
+        lambda **kw: micro_stream_count(**kw).payload,
         kwargs=dict(stream_counts=(32, 48, 64), scale=bench_scale, seed=bench_seed),
         iterations=1,
         rounds=1,

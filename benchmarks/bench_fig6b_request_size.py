@@ -6,7 +6,7 @@ the interference is mitigated"; static preallocation is insensitive to the
 phase-1 request size.
 """
 
-from repro.core.experiments import micro_request_size
+from repro.core.runners import micro_request_size
 from repro.sim.report import Table
 from repro.units import KiB
 
@@ -14,7 +14,7 @@ from repro.units import KiB
 def test_fig6b_request_size(benchmark, bench_scale, bench_seed):
     sizes = (4 * KiB, 16 * KiB, 64 * KiB, 256 * KiB)
     result = benchmark.pedantic(
-        micro_request_size,
+        lambda **kw: micro_request_size(**kw).payload,
         kwargs=dict(request_sizes=sizes, nstreams=32, scale=bench_scale, seed=bench_seed),
         iterations=1,
         rounds=1,

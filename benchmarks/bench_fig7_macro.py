@@ -6,13 +6,13 @@ I/O (~40 MB requests) is much faster than non-collective and makes
 on-demand's "effectiveness ... disappointed".
 """
 
-from repro.core.experiments import macro_benchmarks
+from repro.core.runners import macro_benchmarks
 from repro.sim.report import Table, format_pct
 
 
 def test_fig7_macro(benchmark, bench_scale, bench_seed):
     result = benchmark.pedantic(
-        macro_benchmarks,
+        lambda **kw: macro_benchmarks(**kw).payload,
         kwargs=dict(scale=bench_scale, seed=bench_seed),
         iterations=1,
         rounds=1,

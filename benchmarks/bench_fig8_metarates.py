@@ -9,7 +9,7 @@ directory size thanks to the kernel prefetch window.
 
 import os
 
-from repro.core.experiments import metarates_suite
+from repro.core.runners import metarates_suite
 from repro.sim.report import Table, format_pct
 
 _SCALE = float(os.environ.get("REPRO_BENCH_META_SCALE", "0.2"))
@@ -19,7 +19,7 @@ def test_fig8_metarates(benchmark, bench_seed):
     # Paper scale is 10 clients x 5000 files; 0.2 (1000 files/dir) keeps the
     # benchmark minutes-long instead of hours while preserving every shape.
     result = benchmark.pedantic(
-        metarates_suite,
+        lambda **kw: metarates_suite(**kw).payload,
         kwargs=dict(scale=_SCALE, seed=bench_seed, dir_sizes=(1000, 5000, 10000)),
         iterations=1,
         rounds=1,

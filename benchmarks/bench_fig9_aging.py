@@ -6,7 +6,7 @@ is not severely compromised. ... performance of operations on the embedded
 directory still outperforms both traditional approaches".
 """
 
-from repro.core.experiments import aging_impact
+from repro.core.runners import aging_impact
 from repro.sim.report import Table
 
 
@@ -14,7 +14,7 @@ def test_fig9_aging(benchmark, bench_seed):
     # Full directory scale: embedded content preallocations must be large
     # enough (dozens of blocks) for an aged free space to degrade them.
     result = benchmark.pedantic(
-        aging_impact,
+        lambda **kw: aging_impact(**kw).payload,
         kwargs=dict(utilizations=(0.0, 0.2, 0.4, 0.6, 0.8), scale=1.0, seed=bench_seed),
         iterations=1,
         rounds=1,

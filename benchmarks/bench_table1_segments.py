@@ -14,13 +14,13 @@ Paper (non-collective runs):
 factor of 5-10 compared to the same file system with reservation".
 """
 
-from repro.core.experiments import table1_segments
+from repro.core.runners import table1_segments
 from repro.sim.report import Table
 
 
 def test_table1_segments(benchmark, bench_scale, bench_seed):
     result = benchmark.pedantic(
-        table1_segments,
+        lambda **kw: table1_segments(**kw).payload,
         kwargs=dict(scale=bench_scale, seed=bench_seed),
         iterations=1,
         rounds=1,

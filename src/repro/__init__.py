@@ -33,6 +33,7 @@ from repro.config import (
     MetaParams,
     SchedulerParams,
 )
+from repro.core.run import RunResult, run
 from repro.fs import (
     RedbudFile,
     RedbudFileSystem,
@@ -41,23 +42,51 @@ from repro.fs import (
     redbud_mif_profile,
     redbud_vanilla_profile,
 )
-from repro.sim.metrics import ThroughputResult
+from repro.obs import (
+    NULL_TRACER,
+    Histogram,
+    HistogramSnapshot,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    format_breakdown,
+    read_chrome,
+    read_jsonl,
+    to_chrome,
+    to_jsonl,
+)
+from repro.sim.metrics import Metrics, MetricsSnapshot, ThroughputResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AllocPolicyParams",
     "CacheParams",
     "DiskParams",
     "FSConfig",
+    "Histogram",
+    "HistogramSnapshot",
     "MetaParams",
-    "SchedulerParams",
+    "Metrics",
+    "MetricsSnapshot",
+    "NULL_TRACER",
+    "NullTracer",
     "RedbudFile",
     "RedbudFileSystem",
+    "RunResult",
+    "SchedulerParams",
     "ThroughputResult",
+    "TraceEvent",
+    "Tracer",
+    "__version__",
+    "format_breakdown",
     "lustre_profile",
     "make_stream_id",
+    "read_chrome",
+    "read_jsonl",
     "redbud_mif_profile",
     "redbud_vanilla_profile",
-    "__version__",
+    "run",
+    "to_chrome",
+    "to_jsonl",
 ]

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.block.freespace import FreeSpaceManager
 from repro.config import AllocPolicyParams
 from repro.errors import AllocationError
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.sim.metrics import Metrics
 
 
@@ -74,10 +75,12 @@ class AllocationPolicy(abc.ABC):
         params: AllocPolicyParams,
         fsm: FreeSpaceManager,
         metrics: Metrics | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
         self.params = params
         self.fsm = fsm
         self.metrics = metrics if metrics is not None else Metrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- the one required operation ------------------------------------------
     @abc.abstractmethod

@@ -98,10 +98,30 @@ class OnDemandPolicy(AllocationPolicy):
             elif st.prealloc_on and sw is not None and sw.covers(cursor):
                 # pre_alloc_layout: the stream proved sequential.
                 self.metrics.incr("alloc.trigger_prealloc_layout")
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "alloc",
+                        "pre_alloc_layout",
+                        stream=stream_id,
+                        file=file_id,
+                        group=target.group_index,
+                        dlocal=cursor,
+                        window=sw.length,
+                    )
                 self._promote(key, st, target)
             else:
                 # layout_miss (also the stream's very first extend).
                 self.metrics.incr("alloc.trigger_layout_miss")
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "alloc",
+                        "layout_miss",
+                        stream=stream_id,
+                        file=file_id,
+                        group=target.group_index,
+                        dlocal=cursor,
+                        misses=st.misses,
+                    )
                 took = self._miss(key, st, target, cursor, remaining, runs)
                 cursor += took
                 remaining -= took
@@ -147,6 +167,15 @@ class OnDemandPolicy(AllocationPolicy):
             if st.prealloc_on:
                 st.prealloc_on = False
                 self.metrics.incr("alloc.streams_turned_random")
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "alloc",
+                        "stream_random",
+                        stream=key[1],
+                        file=key[0],
+                        group=key[2],
+                        misses=st.misses,
+                    )
 
         # Allocate the written blocks themselves (contiguous best effort),
         # chaining after the stream's previous allocation when it has one.
@@ -192,6 +221,16 @@ class OnDemandPolicy(AllocationPolicy):
         self.metrics.incr("alloc.prealloc_persistent_blocks", sw.length)
         # §III.C ramp: next reservation is scale times larger, capped.
         st.window_size = self._clamp(max(1, st.window_size) * self.params.window_scale)
+        self.metrics.observe("alloc.window_blocks", st.window_size)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "alloc",
+                "window_ramp",
+                stream=key[1],
+                file=key[0],
+                group=key[2],
+                window=st.window_size,
+            )
         self._reserve_sequential(st, target, sw.logical_end, sw.physical_end)
 
     def _reserve_sequential(

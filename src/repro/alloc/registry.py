@@ -13,6 +13,7 @@ from repro.alloc.vanilla import VanillaPolicy
 from repro.block.freespace import FreeSpaceManager
 from repro.config import AllocPolicyParams
 from repro.errors import ConfigError
+from repro.obs.trace import NullTracer, Tracer
 from repro.sim.metrics import Metrics
 
 _POLICIES: dict[str, type[AllocationPolicy]] = {
@@ -42,10 +43,11 @@ def make_policy(
     params: AllocPolicyParams,
     fsm: FreeSpaceManager,
     metrics: Metrics | None = None,
+    tracer: Tracer | NullTracer | None = None,
 ) -> AllocationPolicy:
     """Instantiate the policy selected by ``params.policy``."""
     try:
         cls = _POLICIES[params.policy]
     except KeyError:
         raise ConfigError(f"unknown allocation policy: {params.policy!r}") from None
-    return cls(params, fsm, metrics)
+    return cls(params, fsm, metrics, tracer)

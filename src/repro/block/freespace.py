@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.block.group import AllocationGroup
 from repro.errors import AllocationError, NoSpaceError
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.sim.metrics import Metrics
 
 
@@ -22,6 +23,7 @@ class FreeSpaceManager:
         blocks_per_disk: int,
         pags_per_disk: int,
         metrics: Metrics | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
         if ndisks <= 0 or blocks_per_disk <= 0 or pags_per_disk <= 0:
             raise AllocationError("geometry parameters must be positive")
@@ -31,6 +33,7 @@ class FreeSpaceManager:
                 f"pags_per_disk ({pags_per_disk})"
             )
         self.metrics = metrics if metrics is not None else Metrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.ndisks = ndisks
         self.blocks_per_disk = blocks_per_disk
         self.pags_per_disk = pags_per_disk
@@ -46,6 +49,8 @@ class FreeSpaceManager:
                         base=disk_base + g * group_size,
                         size=group_size,
                         disk_index=disk,
+                        metrics=self.metrics,
+                        tracer=self.tracer,
                     )
                 )
                 index += 1
@@ -101,8 +106,18 @@ class FreeSpaceManager:
                 start, got = group.allocate(count, hint=use_hint, minimum=minimum)
                 self.metrics.incr("fsm.allocations")
                 self.metrics.incr("fsm.blocks_allocated", got)
+                self.metrics.observe("fsm.alloc_run_blocks", got)
                 if gi != group_index:
                     self.metrics.incr("fsm.group_fallbacks")
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            "fsm",
+                            "group_fallback",
+                            wanted_group=group_index,
+                            used_group=gi,
+                            count=count,
+                            got=got,
+                        )
                 return (start, got)
             except NoSpaceError as exc:
                 last_error = exc

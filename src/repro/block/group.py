@@ -10,18 +10,30 @@ from __future__ import annotations
 
 from repro.block.freelist import FreeExtentSet
 from repro.errors import AllocationError
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+from repro.sim.metrics import Metrics
 
 
 class AllocationGroup:
     """One PAG: a contiguous global block range plus its free-space set."""
 
-    def __init__(self, index: int, base: int, size: int, disk_index: int) -> None:
+    def __init__(
+        self,
+        index: int,
+        base: int,
+        size: int,
+        disk_index: int,
+        metrics: Metrics | None = None,
+        tracer: Tracer | NullTracer | None = None,
+    ) -> None:
         if index < 0 or disk_index < 0:
             raise AllocationError(f"invalid group ids: index={index} disk={disk_index}")
         self.index = index
         self.base = base
         self.size = size
         self.disk_index = disk_index
+        self.metrics = metrics
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.free = FreeExtentSet(base, size)
         #: Rotating cursor: the next goal block for unhinted allocations,
         #: so fresh files spread out instead of piling at the group start.
@@ -58,6 +70,21 @@ class AllocationGroup:
         if not self.contains(goal):
             goal = self.base
         start, got = self.free.allocate_near(goal, count, minimum=minimum)
+        if got < count:
+            # allocate-near degraded: the group could not satisfy the full
+            # contiguous run and fell back to a shorter one.
+            if self.metrics is not None:
+                self.metrics.incr("pag.degraded_allocations")
+                self.metrics.incr("pag.degraded_shortfall_blocks", count - got)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "fsm",
+                    "degraded_alloc",
+                    group=self.index,
+                    want=count,
+                    got=got,
+                    goal=goal,
+                )
         if hint is None:
             # Only unhinted allocations advance the rotating cursor; hinted
             # ones (window growth, reservations) must not drag the cursor

@@ -11,7 +11,9 @@ import argparse
 import sys
 
 from repro import __version__
-from repro.core import experiments
+from repro.core.run import run as run_experiment
+from repro.core.run import runner_names
+from repro.core.runners import interference_claim, prealloc_waste
 from repro.fs.dataplane import DataPlane
 from repro.fs.profiles import (
     lustre_profile,
@@ -34,6 +36,13 @@ def main(argv: list[str] | None = None) -> int:
         parser.print_help()
         return 2
     return args.func(args)
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer: {text}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -86,6 +95,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_claims)
 
     p = sub.add_parser(
+        "trace",
+        help="run an experiment with structured tracing; export the trace "
+        "and print a per-layer simulated-time breakdown",
+    )
+    p.add_argument("runner", choices=runner_names(),
+                   help="registered experiment runner to trace")
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None,
+                   help="output path (default: <runner>.trace.<ext>)")
+    p.add_argument("--format", choices=("chrome", "jsonl"), default="chrome",
+                   help="chrome = chrome://tracing JSON; jsonl = one event per line")
+    p.add_argument("--capacity", type=_positive_int, default=262144,
+                   help="trace ring-buffer capacity (oldest events evicted)")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
         "microbench", help="one-off shared-file run with a layout map"
     )
     p.add_argument("--policy", default="ondemand",
@@ -132,9 +158,9 @@ def build_parser() -> argparse.ArgumentParser:
 # -- figure commands -----------------------------------------------------------
 
 def cmd_fig6a(args) -> int:
-    result = experiments.micro_stream_count(
-        stream_counts=(32, 48, 64), scale=args.scale, seed=args.seed
-    )
+    result = run_experiment(
+        "fig6a", scale=args.scale, seed=args.seed, stream_counts=(32, 48, 64)
+    ).payload
     table = Table(
         "Fig 6(a) — phase-2 throughput (MiB/s) vs stream count",
         ["streams", "reservation", "static", "ondemand", "gain"],
@@ -154,7 +180,7 @@ def cmd_fig6a(args) -> int:
 
 
 def cmd_fig6b(args) -> int:
-    result = experiments.micro_request_size(scale=args.scale, seed=args.seed)
+    result = run_experiment("fig6b", scale=args.scale, seed=args.seed).payload
     table = Table(
         "Fig 6(b) — phase-2 throughput (MiB/s) vs phase-1 request size",
         ["request KiB", "reservation", "static", "ondemand"],
@@ -173,7 +199,7 @@ def cmd_fig6b(args) -> int:
 
 
 def cmd_fig7(args) -> int:
-    result = experiments.macro_benchmarks(scale=args.scale, seed=args.seed)
+    result = run_experiment("fig7", scale=args.scale, seed=args.seed).payload
     table = Table(
         "Fig 7 — macro-benchmark throughput (MiB/s)",
         ["app", "mode", "reservation", "ondemand", "gain"],
@@ -196,7 +222,7 @@ def cmd_fig7(args) -> int:
 
 
 def cmd_table1(args) -> int:
-    result = experiments.table1_segments(scale=args.scale, seed=args.seed)
+    result = run_experiment("table1", scale=args.scale, seed=args.seed).payload
     table = Table(
         "Table I — extents and MDS CPU (non-collective)",
         ["mode", "app", "seg counts", "CPU"],
@@ -210,7 +236,7 @@ def cmd_table1(args) -> int:
 
 
 def cmd_fig8(args) -> int:
-    result = experiments.metarates_suite(scale=args.scale, seed=args.seed)
+    result = run_experiment("fig8", scale=args.scale, seed=args.seed).payload
     table = Table(
         "Fig 8 — Metarates (ops/s; proportion = MDS disk requests mif/orig)",
         ["workload", "redbud-orig", "lustre", "redbud-mif", "gain", "proportion"],
@@ -240,9 +266,9 @@ def cmd_fig8(args) -> int:
 
 
 def cmd_fig9(args) -> int:
-    result = experiments.aging_impact(
-        utilizations=(0.0, 0.4, 0.8), scale=args.scale, seed=args.seed
-    )
+    result = run_experiment(
+        "fig9", scale=args.scale, seed=args.seed, utilizations=(0.0, 0.4, 0.8)
+    ).payload
     table = Table(
         "Fig 9 — aging impact (ops/s)",
         ["utilization", "system", "create/s", "delete/s"],
@@ -256,7 +282,7 @@ def cmd_fig9(args) -> int:
 
 
 def cmd_fig10(args) -> int:
-    result = experiments.postmark_apps(scale=args.scale, seed=args.seed)
+    result = run_experiment("fig10", scale=args.scale, seed=args.seed).payload
     table = Table(
         "Fig 10 — execution time vs Lustre",
         ["program", "lustre (s)", "redbud-mif (s)", "proportion"],
@@ -283,13 +309,13 @@ def cmd_fig10(args) -> int:
 
 
 def cmd_claims(args) -> int:
-    claim = experiments.interference_claim(scale=args.scale, seed=args.seed)
+    claim = interference_claim(scale=args.scale, seed=args.seed)
     print(
         f"§I interference: fragmented {claim.fragmented_mib_s:.1f} vs contiguous "
         f"{claim.contiguous_mib_s:.1f} MiB/s -> {claim.loss_fraction:.0%} lost "
         f"(paper: >40%)"
     )
-    waste = experiments.prealloc_waste(seed=args.seed)
+    waste = prealloc_waste(seed=args.seed)
     print(
         f"§III.C prealloc waste: 256 KiB static occupies {waste.waste_ratio:.1f}x "
         f"the space of 16 KiB on kernel-tree files"
@@ -298,6 +324,54 @@ def cmd_claims(args) -> int:
 
 
 # -- utility commands --------------------------------------------------------------
+
+def cmd_trace(args) -> int:
+    from repro.obs import Tracer, format_breakdown, to_chrome, to_jsonl
+
+    tracer = Tracer(capacity=args.capacity)
+    result = run_experiment(
+        args.runner, scale=args.scale, seed=args.seed, trace=tracer
+    )
+    events = tracer.events()
+    ext = "json" if args.format == "chrome" else "jsonl"
+    out = args.out or f"{args.runner}.trace.{ext}"
+    if args.format == "chrome":
+        to_chrome(events, out)
+    else:
+        to_jsonl(events, out)
+    print(
+        f"{args.runner}: {len(events)} events retained "
+        f"({tracer.dropped} evicted) -> {out}"
+    )
+    print()
+    print(format_breakdown(events))
+    phase_table = Table(
+        f"phases ({result.name}, fingerprint {result.fingerprint})",
+        ["phase", "elapsed (s)", "MiB/s", "ops/s"],
+    )
+    for label in sorted(result.phases):
+        ph = result.phases[label]
+        phase_table.add_row(
+            [label, f"{ph.elapsed:.4f}", f"{ph.mib_per_s:.1f}", f"{ph.ops_per_s:.0f}"]
+        )
+    print()
+    phase_table.print()
+    shown = False
+    for name in ("disk.request_latency_s", "cache.read_latency_s", "mds.op_latency_s"):
+        h = result.metrics.histogram(name)
+        if h.count == 0:
+            continue
+        if not shown:
+            print()
+            print("latency percentiles (simulated seconds):")
+            shown = True
+        print(
+            f"  {name}: n={h.count} p50={h.percentile(50):.2e} "
+            f"p90={h.percentile(90):.2e} p99={h.percentile(99):.2e} "
+            f"max={h.maximum:.2e}"
+        )
+    return 0
+
 
 def cmd_microbench(args) -> int:
     cfg = with_alloc_policy(redbud_vanilla_profile(ndisks=5), args.policy)

@@ -1,56 +1,61 @@
-"""Canned experiment runners — one per table/figure of §V.
+"""Deprecated per-figure experiment functions.
 
-Every runner takes a ``scale`` knob so the same code serves quick tests
-(scale < 1) and the full benchmark harness (scale = 1).  Runners return
-small result dataclasses with the same rows/series the paper reports;
-``benchmarks/`` renders them and EXPERIMENTS.md records paper-vs-measured.
+The runners now live in :mod:`repro.core.runners` behind the unified
+``run(name, scale=..., seed=..., trace=...)`` entry point of
+:mod:`repro.core.run`, and return :class:`~repro.core.run.RunResult`
+objects carrying phases, metrics and the figure payload.
+
+This module keeps the original call shapes working: each legacy function
+forwards to the registered runner and returns ``RunResult.payload`` — the
+exact dataclass it used to build — after emitting a
+:class:`DeprecationWarning`.  The payload dataclasses themselves are
+re-exported here unchanged.  New code should call :func:`repro.core.run.run`
+(or the runner functions in :mod:`repro.core.runners`) directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import warnings
 
 from repro.config import FSConfig
-from repro.fs.dataplane import DataPlane
-from repro.fs.profiles import (
-    lustre_profile,
-    redbud_mif_profile,
-    redbud_vanilla_profile,
-    with_alloc_policy,
+from repro.core.runners import (  # noqa: F401 - re-exported legacy names
+    AgingResult,
+    AgingRun,
+    Fig6aResult,
+    Fig6bResult,
+    Fig7Result,
+    Fig8Result,
+    Fig10Result,
+    FppGap,
+    InterferenceClaim,
+    MacroRun,
+    MetaRun,
+    PreallocWaste,
+    Table1Result,
+    file_per_process_gap,
+    interference_claim,
+    prealloc_waste,
 )
-from repro.fs.redbud import RedbudFileSystem
-from repro.meta.mds import MetadataServer
-from repro.sim.metrics import ThroughputResult
-from repro.units import KiB, MiB
-from repro.workloads.aging import age_metadata_fs
-from repro.workloads.apps import AppResult, KernelTree, MakeApp, MakeCleanApp, TarApp
-from repro.workloads.btio import BTIOBenchmark
-from repro.workloads.filesizes import kernel_tree_sizes
-from repro.workloads.ior import IORBenchmark
-from repro.workloads.metarates import MetaratesWorkload
-from repro.workloads.postmark import PostMarkConfig, PostMarkResult, PostMarkWorkload
-from repro.workloads.streams import SharedFileMicrobench
+from repro.core.runners import (
+    aging_impact as _aging_impact,
+    macro_benchmarks as _macro_benchmarks,
+    metarates_suite as _metarates_suite,
+    micro_request_size as _micro_request_size,
+    micro_stream_count as _micro_stream_count,
+    postmark_apps as _postmark_apps,
+    table1_segments as _table1_segments,
+)
+from repro.units import KiB
 
 
-def _scaled(value: int, scale: float, floor: int = 1) -> int:
-    return max(floor, int(value * scale))
-
-
-# ---------------------------------------------------------------------------
-# Fig. 6(a): micro-benchmark phase-2 throughput vs stream count
-# ---------------------------------------------------------------------------
-
-@dataclass
-class Fig6aResult:
-    """Phase-2 read throughput (MiB/s) per policy per stream count."""
-
-    stream_counts: list[int]
-    throughput: dict[str, dict[int, float]]  # policy -> n -> MiB/s
-    extents: dict[str, dict[int, int]]
-
-    def improvement_over(self, base: str, other: str, n: int) -> float:
-        """Fractional gain of ``other`` over ``base`` at ``n`` streams."""
-        return self.throughput[other][n] / self.throughput[base][n] - 1.0
+def _warn(old: str, runner: str) -> None:
+    warnings.warn(
+        f"repro.core.experiments.{old}() is deprecated; use "
+        f"repro.core.run.run({runner!r}, ...) and read .payload "
+        f"(or .phases/.metrics) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def micro_stream_count(
@@ -60,40 +65,12 @@ def micro_stream_count(
     ndisks: int = 5,
     seed: int = 0,
 ) -> Fig6aResult:
-    """Fig. 6(a): on-demand beats reservation by a margin growing with the
-    stream count; static (fallocate) is the contiguous upper bound."""
-    file_bytes = _scaled(192 * MiB, scale, floor=16 * MiB)
-    throughput: dict[str, dict[int, float]] = {p: {} for p in policies}
-    extents: dict[str, dict[int, int]] = {p: {} for p in policies}
-    for n in stream_counts:
-        for policy in policies:
-            cfg = with_alloc_policy(redbud_vanilla_profile(ndisks=ndisks), policy)
-            plane = DataPlane(cfg)
-            bench = SharedFileMicrobench(
-                nstreams=n,
-                file_bytes=file_bytes - file_bytes % n,
-                write_request_bytes=16 * KiB,
-                seed=seed,
-            )
-            f = bench.create_shared_file(plane)
-            bench.phase1_write(plane, f)
-            plane.close_file(f)
-            result = bench.phase2_read(plane, f)
-            throughput[policy][n] = result.mib_per_s
-            extents[policy][n] = f.extent_count
-    return Fig6aResult(list(stream_counts), throughput, extents)
-
-
-# ---------------------------------------------------------------------------
-# Fig. 6(b): impact of the phase-1 request ("allocation") size
-# ---------------------------------------------------------------------------
-
-@dataclass
-class Fig6bResult:
-    """Phase-2 read throughput per policy per phase-1 request size."""
-
-    request_sizes: list[int]
-    throughput: dict[str, dict[int, float]]  # policy -> bytes -> MiB/s
+    """Deprecated: ``run("fig6a", ...)``."""
+    _warn("micro_stream_count", "fig6a")
+    return _micro_stream_count(
+        scale=scale, seed=seed, stream_counts=tuple(stream_counts),
+        policies=tuple(policies), ndisks=ndisks,
+    ).payload
 
 
 def micro_request_size(
@@ -104,51 +81,12 @@ def micro_request_size(
     ndisks: int = 5,
     seed: int = 0,
 ) -> Fig6bResult:
-    """Fig. 6(b): small allocation sizes leave reservation placement
-    unmergeable on disk; on-demand mitigates the interference."""
-    file_bytes = _scaled(192 * MiB, scale, floor=16 * MiB)
-    throughput: dict[str, dict[int, float]] = {p: {} for p in policies}
-    for size in request_sizes:
-        for policy in policies:
-            cfg = with_alloc_policy(redbud_vanilla_profile(ndisks=ndisks), policy)
-            plane = DataPlane(cfg)
-            bench = SharedFileMicrobench(
-                nstreams=nstreams,
-                file_bytes=file_bytes - file_bytes % nstreams,
-                write_request_bytes=size,
-                seed=seed,
-            )
-            f = bench.create_shared_file(plane)
-            bench.phase1_write(plane, f)
-            plane.close_file(f)
-            result = bench.phase2_read(plane, f)
-            throughput[policy][size] = result.mib_per_s
-    return Fig6bResult(list(request_sizes), throughput)
-
-
-# ---------------------------------------------------------------------------
-# Fig. 7 + Table I: IOR2 / BTIO macro-benchmarks
-# ---------------------------------------------------------------------------
-
-@dataclass
-class MacroRun:
-    app: str
-    policy: str
-    collective: bool
-    throughput_mib_s: float
-    extents: int
-    mds_cpu_pct: float
-
-
-@dataclass
-class Fig7Result:
-    runs: list[MacroRun] = field(default_factory=list)
-
-    def get(self, app: str, policy: str, collective: bool) -> MacroRun:
-        for r in self.runs:
-            if r.app == app and r.policy == policy and r.collective == collective:
-                return r
-        raise KeyError((app, policy, collective))
+    """Deprecated: ``run("fig6b", ...)``."""
+    _warn("micro_request_size", "fig6b")
+    return _micro_request_size(
+        scale=scale, seed=seed, request_sizes=tuple(request_sizes),
+        policies=tuple(policies), nstreams=nstreams, ndisks=ndisks,
+    ).payload
 
 
 def macro_benchmarks(
@@ -158,83 +96,12 @@ def macro_benchmarks(
     ndisks: int = 8,
     seed: int = 0,
 ) -> Fig7Result:
-    """Fig. 7: IOR2 and BTIO under reservation vs on-demand, with and
-    without collective I/O (paper: 16 nodes × 4 cores, 8 disks)."""
-    out = Fig7Result()
-    ior_bytes = _scaled(256 * MiB, scale, floor=64 * MiB)
-    # BTIO's strided-row pattern changes regime if rows shrink under the
-    # drive's skip-merge range, so the per-proc step never scales below
-    # 256 KiB (two sub-runs).
-    bt_step = _scaled(512 * KiB, scale, floor=256 * KiB)
-    for collective in collectives:
-        for policy in policies:
-            cfg = with_alloc_policy(redbud_vanilla_profile(ndisks=ndisks), policy)
-            plane = DataPlane(cfg)
-            ior = IORBenchmark(
-                nprocs=64,
-                file_bytes=ior_bytes - ior_bytes % 64,
-                request_bytes=64 * KiB,
-                collective=collective,
-            )
-            f = ior.create_file(plane)
-            w = ior.write_phase(plane, f)
-            plane.close_file(f)
-            r = ior.read_phase(plane, f)
-            out.runs.append(_macro_run("IOR", policy, collective, cfg, plane, f, w, r))
-
-            cfg = with_alloc_policy(redbud_vanilla_profile(ndisks=ndisks), policy)
-            plane = DataPlane(cfg)
-            bt = BTIOBenchmark(
-                nprocs=64,
-                step_bytes_per_proc=bt_step,
-                steps=4,
-                collective=collective,
-            )
-            f = bt.create_file(plane)
-            w = bt.write_phase(plane, f)
-            plane.close_file(f)
-            r = bt.read_phase(plane, f)
-            out.runs.append(_macro_run("BTIO", policy, collective, cfg, plane, f, w, r))
-    return out
-
-
-def _macro_run(
-    app: str,
-    policy: str,
-    collective: bool,
-    cfg: FSConfig,
-    plane: DataPlane,
-    f,
-    w: ThroughputResult,
-    r: ThroughputResult,
-) -> MacroRun:
-    elapsed = w.elapsed + r.elapsed
-    total = (w.bytes_moved + r.bytes_moved) / elapsed / MiB if elapsed > 0 else 0.0
-    # Table I: MDS CPU = extent handling (merging/indexing) over the run.
-    ops = plane.metrics.count("fs.writes")
-    cpu_s = f.extent_count * cfg.mds_cpu_s_per_extent + ops * 1e-6
-    cpu_pct = 100.0 * cpu_s / elapsed if elapsed > 0 else 0.0
-    return MacroRun(
-        app=app,
-        policy=policy,
-        collective=collective,
-        throughput_mib_s=total,
-        extents=f.extent_count,
-        mds_cpu_pct=cpu_pct,
-    )
-
-
-@dataclass
-class Table1Result:
-    """Segment counts and MDS CPU utilization, non-collective runs."""
-
-    rows: list[MacroRun] = field(default_factory=list)
-
-    def get(self, app: str, policy: str) -> MacroRun:
-        for r in self.rows:
-            if r.app == app and r.policy == policy:
-                return r
-        raise KeyError((app, policy))
+    """Deprecated: ``run("fig7", ...)``."""
+    _warn("macro_benchmarks", "fig7")
+    return _macro_benchmarks(
+        scale=scale, seed=seed, policies=tuple(policies),
+        collectives=tuple(collectives), ndisks=ndisks,
+    ).payload
 
 
 def table1_segments(
@@ -243,43 +110,11 @@ def table1_segments(
     ndisks: int = 8,
     seed: int = 0,
 ) -> Table1Result:
-    """Table I: extents and MDS CPU for Vanilla/Reservation/On-demand on
-    the non-collective IOR and BTIO runs."""
-    fig7 = macro_benchmarks(
-        policies=policies, collectives=(False,), scale=scale, ndisks=ndisks, seed=seed
-    )
-    return Table1Result(rows=fig7.runs)
-
-
-# ---------------------------------------------------------------------------
-# Fig. 8: Metarates — embedded vs normal directory
-# ---------------------------------------------------------------------------
-
-@dataclass
-class MetaRun:
-    profile: str
-    workload: str
-    ops_per_s: float
-    disk_requests: int
-
-
-@dataclass
-class Fig8Result:
-    runs: list[MetaRun] = field(default_factory=list)
-    #: readdir-stat disk-request proportion embedded/normal per dir size.
-    rdstat_proportion_by_size: dict[int, float] = field(default_factory=dict)
-
-    def get(self, profile: str, workload: str) -> MetaRun:
-        for r in self.runs:
-            if r.profile == profile and r.workload == workload:
-                return r
-        raise KeyError((profile, workload))
-
-    def proportion(self, workload: str, base: str = "redbud-orig", other: str = "redbud-mif") -> float:
-        """Disk-access-count proportion (embedded / normal) per Fig. 8."""
-        b = self.get(base, workload).disk_requests
-        o = self.get(other, workload).disk_requests
-        return o / b if b else float("inf")
+    """Deprecated: ``run("table1", ...)``."""
+    _warn("table1_segments", "table1")
+    return _table1_segments(
+        scale=scale, seed=seed, policies=tuple(policies), ndisks=ndisks
+    ).payload
 
 
 def metarates_suite(
@@ -288,71 +123,11 @@ def metarates_suite(
     dir_sizes: tuple[int, ...] = (1000, 5000, 10000),
     seed: int = 0,
 ) -> Fig8Result:
-    """Fig. 8: utime/create (a), delete (b) and readdir-stat (c) throughput
-    and disk-access counts, plus the dir-size sweep for readdir-stat."""
-    if profiles is None:
-        profiles = (redbud_vanilla_profile(), lustre_profile(), redbud_mif_profile())
-    files_per_dir = _scaled(5000, scale, floor=200)
-    wl = MetaratesWorkload(nclients=10, files_per_dir=files_per_dir)
-    out = Fig8Result()
-    for cfg in profiles:
-        mds = MetadataServer(cfg)
-        dirs = wl.setup_dirs(mds)
-        for name, fn in (
-            ("create", wl.run_create),
-            ("utime", wl.run_utime),
-            ("readdir-stat", wl.run_readdir_stat),
-            ("delete", wl.run_delete),
-        ):
-            mds.drop_caches()
-            snap = mds.metrics.snapshot()
-            result = fn(mds, dirs)
-            requests = mds.metrics.since(snap).count("disk.requests")
-            out.runs.append(
-                MetaRun(cfg.name, name, result.ops_per_s, requests)
-            )
-    # readdir-stat proportion vs directory size (§V.D.1's prefetch effect).
-    # Absolute directory sizes on purpose: the effect *is* the size trend,
-    # so rescaling it away would leave quantization noise.
-    for size in dir_sizes:
-        counts: dict[str, int] = {}
-        for cfg in (redbud_vanilla_profile(), redbud_mif_profile()):
-            mds = MetadataServer(cfg)
-            wl2 = MetaratesWorkload(nclients=2, files_per_dir=size)
-            dirs = wl2.setup_dirs(mds)
-            wl2.run_create(mds, dirs)
-            mds.drop_caches()
-            snap = mds.metrics.snapshot()
-            wl2.run_readdir_stat(mds, dirs)
-            counts[cfg.name] = mds.metrics.since(snap).count("disk.requests")
-        base = counts["redbud-orig"]
-        out.rdstat_proportion_by_size[size] = (
-            counts["redbud-mif"] / base if base else float("inf")
-        )
-    return out
-
-
-# ---------------------------------------------------------------------------
-# Fig. 9: file system aging
-# ---------------------------------------------------------------------------
-
-@dataclass
-class AgingRun:
-    profile: str
-    utilization: float
-    create_ops_s: float
-    delete_ops_s: float
-
-
-@dataclass
-class AgingResult:
-    runs: list[AgingRun] = field(default_factory=list)
-
-    def get(self, profile: str, utilization: float) -> AgingRun:
-        for r in self.runs:
-            if r.profile == profile and abs(r.utilization - utilization) < 1e-9:
-                return r
-        raise KeyError((profile, utilization))
+    """Deprecated: ``run("fig8", ...)``."""
+    _warn("metarates_suite", "fig8")
+    return _metarates_suite(
+        scale=scale, seed=seed, profiles=profiles, dir_sizes=tuple(dir_sizes)
+    ).payload
 
 
 def aging_impact(
@@ -360,181 +135,14 @@ def aging_impact(
     scale: float = 1.0,
     seed: int = 0,
 ) -> AgingResult:
-    """Fig. 9: create/delete throughput after aging the MFS to each
-    utilization (embedded creation drops hardest; deletion barely moves)."""
-    files_per_dir = _scaled(1000, scale, floor=100)
-    wl = MetaratesWorkload(nclients=10, files_per_dir=files_per_dir)
-    out = AgingResult()
-    for cfg in (redbud_vanilla_profile(), lustre_profile(), redbud_mif_profile()):
-        for util in utilizations:
-            mds = MetadataServer(cfg)
-            if util > 0.0:
-                age_metadata_fs(mds, util, seed=seed)
-            dirs = wl.setup_dirs(mds)
-            mds.drop_caches()
-            created = wl.run_create(mds, dirs)
-            deleted = wl.run_delete(mds, dirs)
-            out.runs.append(
-                AgingRun(cfg.name, util, created.ops_per_s, deleted.ops_per_s)
-            )
-    return out
-
-
-# ---------------------------------------------------------------------------
-# Fig. 10: PostMark and kernel-tree applications
-# ---------------------------------------------------------------------------
-
-@dataclass
-class Fig10Result:
-    """Execution times per profile; proportions are relative to Lustre."""
-
-    postmark: dict[str, PostMarkResult] = field(default_factory=dict)
-    apps: dict[str, dict[str, AppResult]] = field(default_factory=dict)
-
-    def time_proportion(self, app: str, profile: str = "redbud-mif", base: str = "lustre") -> float:
-        """Execution-time proportion (profile / base); < 1 means faster."""
-        if app == "postmark":
-            return self.postmark[profile].elapsed_s / self.postmark[base].elapsed_s
-        return self.apps[profile][app].elapsed_s / self.apps[base][app].elapsed_s
+    """Deprecated: ``run("fig9", ...)``."""
+    _warn("aging_impact", "fig9")
+    return _aging_impact(
+        scale=scale, seed=seed, utilizations=tuple(utilizations)
+    ).payload
 
 
 def postmark_apps(scale: float = 1.0, seed: int = 0) -> Fig10Result:
-    """Fig. 10: PostMark + tar/make/make-clean execution-time proportions
-    (paper scale: 100K files / 500K transactions; kernel v2.6.30 tree)."""
-    out = Fig10Result()
-    pm_cfg = PostMarkConfig(
-        files=_scaled(2000, scale, floor=200) // 10 * 10,
-        transactions=_scaled(10000, scale, floor=500),
-        nclients=10,
-        seed=seed,
-    )
-    tree = KernelTree(
-        files_per_dir=_scaled(100, scale, floor=20), dirs=10, seed=seed
-    )
-    for cfg in (lustre_profile(), redbud_mif_profile()):
-        fs = RedbudFileSystem(cfg)
-        out.postmark[cfg.name] = PostMarkWorkload(pm_cfg).run(fs)
-
-        fs = RedbudFileSystem(cfg)
-        tree.populate(fs, "/linux")
-        fs.mds.drop_caches()
-        apps: dict[str, AppResult] = {}
-        apps["tar"] = TarApp(tree).run(fs, "/linux")
-        apps["make"] = MakeApp(tree).run(fs, "/linux")
-        apps["make-clean"] = MakeCleanApp(tree).run(fs, "/linux")
-        out.apps[cfg.name] = apps
-    return out
-
-
-# ---------------------------------------------------------------------------
-# §I / §III.C headline claims
-# ---------------------------------------------------------------------------
-
-@dataclass
-class InterferenceClaim:
-    fragmented_mib_s: float
-    contiguous_mib_s: float
-
-    @property
-    def loss_fraction(self) -> float:
-        """I/O performance lost to intra-file interference (paper: >40%)."""
-        return 1.0 - self.fragmented_mib_s / self.contiguous_mib_s
-
-
-def interference_claim(scale: float = 1.0, seed: int = 0) -> InterferenceClaim:
-    """§I: intra-file interference can reduce I/O performance by >40%."""
-    fig = micro_stream_count(
-        stream_counts=(64,), policies=("reservation", "static"), scale=scale, seed=seed
-    )
-    return InterferenceClaim(
-        fragmented_mib_s=fig.throughput["reservation"][64],
-        contiguous_mib_s=fig.throughput["static"][64],
-    )
-
-
-@dataclass
-class FppGap:
-    """Shared-file vs file-per-process read-back throughput (MiB/s)."""
-
-    shared: dict[str, float] = field(default_factory=dict)   # policy -> MiB/s
-    per_process: dict[str, float] = field(default_factory=dict)
-
-    def gap(self, policy: str) -> float:
-        """file-per-process / shared ratio (paper: ~5x under traditional
-        placement; MiF's goal is to pull it toward 1)."""
-        return self.per_process[policy] / self.shared[policy]
-
-
-def file_per_process_gap(
-    policies: tuple[str, ...] = ("reservation", "ondemand"),
-    nstreams: int = 32,
-    scale: float = 1.0,
-    ndisks: int = 5,
-    seed: int = 0,
-) -> FppGap:
-    """§II.A.1: per-process files beat one shared file "by a factor of 5"
-    under traditional placement; on-demand preallocation closes the gap."""
-    from repro.workloads.fpp import FilePerProcessBench
-
-    total = _scaled(192 * MiB, scale, floor=32 * MiB)
-    total -= total % nstreams
-    out = FppGap()
-    for policy in policies:
-        cfg = with_alloc_policy(redbud_vanilla_profile(ndisks=ndisks), policy)
-        plane = DataPlane(cfg)
-        bench = SharedFileMicrobench(
-            nstreams=nstreams, file_bytes=total, write_request_bytes=16 * KiB,
-            seed=seed,
-        )
-        f = bench.create_shared_file(plane)
-        bench.phase1_write(plane, f)
-        plane.close_file(f)
-        out.shared[policy] = bench.phase2_read(plane, f).mib_per_s
-
-        cfg = with_alloc_policy(redbud_vanilla_profile(ndisks=ndisks), policy)
-        plane = DataPlane(cfg)
-        fpp = FilePerProcessBench(
-            nstreams=nstreams, total_bytes=total, write_request_bytes=16 * KiB,
-            seed=seed,
-        )
-        files = fpp.create_files(plane)
-        fpp.phase1_write(plane, files)
-        for g in files:
-            plane.close_file(g)
-        out.per_process[policy] = fpp.phase2_read(plane, files).mib_per_s
-    return out
-
-
-@dataclass
-class PreallocWaste:
-    """§III.C: space occupied by static preallocation on small files."""
-
-    prealloc_bytes: int
-    occupied_small: int
-    occupied_large: int
-
-    @property
-    def waste_ratio(self) -> float:
-        return self.occupied_large / self.occupied_small
-
-
-def prealloc_waste(
-    nfiles: int = 5000, small: int = 16 * KiB, large: int = 256 * KiB, seed: int = 0
-) -> PreallocWaste:
-    """§III.C: static 256 KiB preallocation on kernel-tree files occupies
-    far more space than 16 KiB (the paper measured ~100×... on 8 GiB vs
-    80 MiB; the ratio here is bounded by 256/16 = 16× because occupation
-    is dominated by the preallocation floor)."""
-    sizes = kernel_tree_sizes(nfiles, seed=seed)
-    block = 4096
-    occupied = {}
-    for prealloc in (small, large):
-        total = 0
-        for s in sizes:
-            total += max(int(s), prealloc)
-        occupied[prealloc] = -(-total // block) * block
-    return PreallocWaste(
-        prealloc_bytes=large,
-        occupied_small=occupied[small],
-        occupied_large=occupied[large],
-    )
+    """Deprecated: ``run("fig10", ...)``."""
+    _warn("postmark_apps", "fig10")
+    return _postmark_apps(scale=scale, seed=seed).payload

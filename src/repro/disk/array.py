@@ -18,6 +18,7 @@ from repro.config import DiskParams, SchedulerParams
 from repro.disk.disk import SimulatedDisk
 from repro.disk.model import BlockRequest
 from repro.errors import SimulationError
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.sim.metrics import Metrics
 
 
@@ -30,13 +31,21 @@ class DiskArray:
         disk_params: DiskParams,
         scheduler_params: SchedulerParams | None = None,
         metrics: Metrics | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
         if ndisks <= 0:
             raise SimulationError(f"ndisks must be positive: {ndisks}")
         self.metrics = metrics if metrics is not None else Metrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.disk_params = disk_params
         self.disks = [
-            SimulatedDisk(disk_params, scheduler_params, self.metrics, name=f"disk{d}")
+            SimulatedDisk(
+                disk_params,
+                scheduler_params,
+                self.metrics,
+                name=f"disk{d}",
+                tracer=self.tracer,
+            )
             for d in range(ndisks)
         ]
         self.blocks_per_disk = disk_params.capacity_blocks

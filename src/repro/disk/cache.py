@@ -20,6 +20,7 @@ from repro.config import CacheParams
 from repro.disk.disk import SimulatedDisk
 from repro.disk.model import BlockRequest
 from repro.errors import SimulationError
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.sim.metrics import Metrics
 
 
@@ -36,10 +37,12 @@ class BufferCache:
         params: CacheParams,
         disk: SimulatedDisk,
         metrics: Metrics | None = None,
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
         self.params = params
         self.disk = disk
         self.metrics = metrics if metrics is not None else disk.metrics
+        self.tracer = tracer if tracer is not None else disk.tracer
         self._lru: OrderedDict[int, None] = OrderedDict()
         # Readahead contexts: (expected next block, window size), LRU order.
         self._ra: OrderedDict[int, int] = OrderedDict()
@@ -101,6 +104,10 @@ class BufferCache:
                 del self._ra[ctx_key]
                 self._ra[start + nblocks + prefetch] = window
                 self.metrics.incr("cache.readahead_hits")
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "cache", "readahead", start=start, window=window
+                    )
             else:
                 # Still inside the prefetched region: refresh LRU position.
                 self._ra.move_to_end(ctx_key)
@@ -137,10 +144,23 @@ class BufferCache:
             misses.append(BlockRequest(run_start, end - run_start, is_write=False))
 
         if not misses:
+            if self.tracer.enabled:
+                self.tracer.emit("cache", "hit", start=start, nblocks=nblocks)
             return 0.0
         elapsed = self.disk.submit_batch(misses)
         for req in misses:
             self._insert(req.start, req.nblocks)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "cache",
+                "miss",
+                dur=elapsed,
+                start=start,
+                nblocks=nblocks,
+                prefetch=prefetch,
+                miss_runs=len(misses),
+            )
+        self.metrics.observe("cache.read_latency_s", elapsed)
         return elapsed
 
     def write(self, start: int, nblocks: int, sync: bool = True) -> float:

@@ -14,6 +14,7 @@ from repro.config import DiskParams, SchedulerParams
 from repro.disk.model import BlockRequest, ServiceTimeModel
 from repro.disk.scheduler import make_scheduler
 from repro.errors import SimulationError
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.sim.metrics import Metrics
 
 
@@ -26,14 +27,17 @@ class SimulatedDisk:
         scheduler_params: SchedulerParams | None = None,
         metrics: Metrics | None = None,
         name: str = "disk",
+        tracer: Tracer | NullTracer | None = None,
     ) -> None:
         self.params = params
         self.name = name
         self.metrics = metrics if metrics is not None else Metrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.model = ServiceTimeModel(params)
         self.scheduler = make_scheduler(
             scheduler_params if scheduler_params is not None else SchedulerParams(),
             self.metrics,
+            self.tracer,
         )
         self._head = 0
         self._busy_s = 0.0
@@ -70,11 +74,26 @@ class SimulatedDisk:
                     f"{self.params.capacity_blocks}"
                 )
         total = 0.0
+        tracer = self.tracer
         for req in self.scheduler.arrange(requests):
             positioning = self.model.positioning_time(self._head, req.start)
             transfer = self.model.transfer_time(req.nblocks)
+            if tracer.enabled:
+                tracer.emit(
+                    "disk",
+                    "write" if req.is_write else "read",
+                    t=self._busy_s + total,
+                    dur=positioning + transfer,
+                    disk=self.name,
+                    start=req.start,
+                    nblocks=req.nblocks,
+                    seek_s=positioning,
+                    transfer_s=transfer,
+                )
             total += positioning + transfer
             self._head = req.end
+            self.metrics.observe("disk.request_latency_s", positioning + transfer)
+            self.metrics.observe("disk.request_blocks", req.nblocks)
             self.metrics.incr("disk.requests")
             self.metrics.incr("disk.blocks", req.nblocks)
             if positioning > 0.0:

@@ -15,15 +15,22 @@ from collections.abc import Iterable, Sequence
 
 from repro.config import SchedulerParams
 from repro.disk.model import BlockRequest
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.sim.metrics import Metrics
 
 
 class FifoScheduler:
     """Dispatch requests in arrival order; merge only back-to-back runs."""
 
-    def __init__(self, params: SchedulerParams, metrics: Metrics | None = None) -> None:
+    def __init__(
+        self,
+        params: SchedulerParams,
+        metrics: Metrics | None = None,
+        tracer: Tracer | NullTracer | None = None,
+    ) -> None:
         self.params = params
         self.metrics = metrics if metrics is not None else Metrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def arrange(self, requests: Sequence[BlockRequest]) -> list[BlockRequest]:
         """Return the dispatch order for one batch of concurrent requests."""
@@ -31,6 +38,10 @@ class FifoScheduler:
         self.metrics.incr("scheduler.requests_in", len(requests))
         merged = _merge_sorted(requests, self.params.merge_gap_blocks)
         self.metrics.incr("scheduler.requests_out", len(merged))
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "sched", "arrange", requests_in=len(requests), requests_out=len(merged)
+            )
         return merged
 
 
@@ -42,9 +53,15 @@ class ElevatorScheduler:
     concurrent burst cannot be globally sorted into one perfect sweep.
     """
 
-    def __init__(self, params: SchedulerParams, metrics: Metrics | None = None) -> None:
+    def __init__(
+        self,
+        params: SchedulerParams,
+        metrics: Metrics | None = None,
+        tracer: Tracer | NullTracer | None = None,
+    ) -> None:
         self.params = params
         self.metrics = metrics if metrics is not None else Metrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def arrange(self, requests: Sequence[BlockRequest]) -> list[BlockRequest]:
         """Return the dispatch order for one batch of concurrent requests."""
@@ -58,16 +75,22 @@ class ElevatorScheduler:
             )
             out.extend(_merge_sorted(window, self.params.merge_gap_blocks))
         self.metrics.incr("scheduler.requests_out", len(out))
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "sched", "arrange", requests_in=len(requests), requests_out=len(out)
+            )
         return out
 
 
 def make_scheduler(
-    params: SchedulerParams, metrics: Metrics | None = None
+    params: SchedulerParams,
+    metrics: Metrics | None = None,
+    tracer: Tracer | NullTracer | None = None,
 ) -> FifoScheduler | ElevatorScheduler:
     """Factory keyed on ``params.kind``."""
     if params.kind == "fifo":
-        return FifoScheduler(params, metrics)
-    return ElevatorScheduler(params, metrics)
+        return FifoScheduler(params, metrics, tracer)
+    return ElevatorScheduler(params, metrics, tracer)
 
 
 def _merge_sorted(requests: Iterable[BlockRequest], gap: int) -> list[BlockRequest]:

@@ -20,6 +20,7 @@ from repro.disk.model import BlockRequest
 from repro.errors import ConfigError, ReproError
 from repro.fs.file import RedbudFile
 from repro.fs.stream import StreamId
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.sim.metrics import Metrics
 from repro.units import block_span, bytes_to_blocks
 
@@ -27,19 +28,29 @@ from repro.units import block_span, bytes_to_blocks
 class DataPlane:
     """File data path: create/write/read/fsync/delete over striped PAGs."""
 
-    def __init__(self, config: FSConfig, metrics: Metrics | None = None) -> None:
+    def __init__(
+        self,
+        config: FSConfig,
+        metrics: Metrics | None = None,
+        tracer: Tracer | NullTracer | None = None,
+    ) -> None:
         self.config = config
         self.metrics = metrics if metrics is not None else Metrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Untimed layers (allocator, free space) stamp events with the
+        # array's elapsed time; an already-bound clock wins.
+        self.tracer.bind_clock(lambda: self.array.elapsed_s)
         self.array = DiskArray(
-            config.ndisks, config.disk, config.scheduler, self.metrics
+            config.ndisks, config.disk, config.scheduler, self.metrics, self.tracer
         )
         self.fsm = FreeSpaceManager(
             config.ndisks,
             config.disk.capacity_blocks,
             config.pags_per_disk,
             self.metrics,
+            self.tracer,
         )
-        self.policy = make_policy(config.alloc, self.fsm, self.metrics)
+        self.policy = make_policy(config.alloc, self.fsm, self.metrics, self.tracer)
         self._files: dict[int, RedbudFile] = {}
         self._next_file_id = 1
 
@@ -213,13 +224,14 @@ class DataPlane:
             self.config.disk.capacity_blocks,
             self.config.pags_per_disk,
             self.metrics,
+            self.tracer,
         )
         for f in self._files.values():
             for smap in f.maps:
                 for ext in smap:
                     self.fsm.allocate_exact(ext.physical, ext.length)
         # The allocator restarts cold: windows, pools and buffers are gone.
-        self.policy = make_policy(self.config.alloc, self.fsm, self.metrics)
+        self.policy = make_policy(self.config.alloc, self.fsm, self.metrics, self.tracer)
         reclaimed = self.fsm.free_blocks - free_before
         self.metrics.incr("fs.crash_recoveries")
         self.metrics.incr("fs.recovered_blocks", max(0, reclaimed))
@@ -252,6 +264,7 @@ class DataPlane:
     def _insert_runs(self, smap, runs: list[PhysicalRun]) -> None:
         for run in runs:
             flags = ExtentFlags.UNWRITTEN if run.unwritten else ExtentFlags.NONE
+            self.metrics.observe("fs.extent_blocks", run.length)
             smap.insert(Extent(run.dlocal, run.physical, run.length, flags))
 
     def _slot_share(self, f: RedbudFile, total_blocks: int, slot: int) -> int:

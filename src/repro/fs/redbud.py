@@ -18,6 +18,7 @@ from repro.fs.dataplane import DataPlane
 from repro.fs.file import RedbudFile
 from repro.fs.stream import StreamId
 from repro.meta.mds import MetadataServer
+from repro.obs.trace import NullTracer, Tracer
 from repro.sim.metrics import Metrics
 
 
@@ -25,11 +26,16 @@ class RedbudFileSystem:
     """Parallel file system: clients see paths; data is striped over PAGs;
     metadata lives at the MDS."""
 
-    def __init__(self, config: FSConfig, metrics: Metrics | None = None) -> None:
+    def __init__(
+        self,
+        config: FSConfig,
+        metrics: Metrics | None = None,
+        tracer: Tracer | NullTracer | None = None,
+    ) -> None:
         self.config = config
         self.metrics = metrics if metrics is not None else Metrics()
-        self.data = DataPlane(config, self.metrics)
-        self.mds = MetadataServer(config, self.metrics)
+        self.data = DataPlane(config, self.metrics, tracer)
+        self.mds = MetadataServer(config, self.metrics, tracer)
         self._dirs: dict[str, object] = {"/": self.mds.root}
         self._files: dict[str, RedbudFile] = {}
 

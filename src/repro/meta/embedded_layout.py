@@ -106,6 +106,7 @@ class EmbeddedLayout(DirectoryLayout):
             block, _, bitmap_dirty = self.mfs.alloc_data(parent.group, 1)
             inode.spill_blocks.append(block)
             plan.dirties += bitmap_dirty + [block]
+            self._note_spill(inode, block, at="create")
         parent.file_count += 1
         return (inode, plan)
 
@@ -158,6 +159,7 @@ class EmbeddedLayout(DirectoryLayout):
             block, _, dirty = self.mfs.alloc_data(parent.group, 1)
             inode.spill_blocks.append(block)
             plan.dirties += dirty + [block]
+            self._note_spill(inode, block, at="set_extent_records")
         while len(inode.spill_blocks) > needed:
             block = inode.spill_blocks.pop()
             plan.dirties += self.mfs.free_data(block, 1)
@@ -357,6 +359,20 @@ class EmbeddedLayout(DirectoryLayout):
         d.free_offsets.extend(d.pending_free)
         d.pending_free.clear()
         return plan
+
+    def _note_spill(self, inode: Inode, block: int, at: str) -> None:
+        """Observability hook for mapping spills out of the inode tail."""
+        if self.metrics is not None:
+            self.metrics.incr("meta.inode_spill_blocks")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "meta",
+                "inode_spill",
+                ino=inode.ino,
+                block=block,
+                spills=len(inode.spill_blocks),
+                at=at,
+            )
 
     def _mapping_blocks_needed(self, records: int) -> int:
         overflow = records - self.params.inode_tail_extents

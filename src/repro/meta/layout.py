@@ -19,6 +19,7 @@ from repro.config import MetaParams
 from repro.errors import FileExists, FileNotFound
 from repro.meta.inode import Inode
 from repro.meta.mfs import MetadataFS
+from repro.obs.trace import NULL_TRACER
 
 
 @dataclass
@@ -54,6 +55,11 @@ class DirectoryLayout(abc.ABC):
     """Base class for the normal and embedded directory layouts."""
 
     name = "abstract"
+    #: Observability hooks, set by the owning MetadataServer after
+    #: construction; layouts stay timing-free but may emit structural
+    #: events (e.g. inode spills).
+    tracer = NULL_TRACER
+    metrics = None
 
     def __init__(self, params: MetaParams, mfs: MetadataFS) -> None:
         self.params = params

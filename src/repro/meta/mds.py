@@ -25,19 +25,28 @@ from repro.meta.journal import Journal
 from repro.meta.layout import AccessPlan
 from repro.meta.mfs import MetadataFS
 from repro.meta.normal_layout import NormalLayout
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.sim.metrics import Metrics
 
 
 class MetadataServer:
     """One MDS: layout + MFS + journal + cache over a single disk."""
 
-    def __init__(self, config: FSConfig, metrics: Metrics | None = None) -> None:
+    def __init__(
+        self,
+        config: FSConfig,
+        metrics: Metrics | None = None,
+        tracer: Tracer | NullTracer | None = None,
+    ) -> None:
         self.config = config
         self.metrics = metrics if metrics is not None else Metrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.bind_clock(lambda: self.elapsed_s)
         self.disk = SimulatedDisk(
-            config.mds_disk, config.scheduler, self.metrics, name="mds"
+            config.mds_disk, config.scheduler, self.metrics, name="mds",
+            tracer=self.tracer,
         )
-        self.cache = BufferCache(config.cache, self.disk, self.metrics)
+        self.cache = BufferCache(config.cache, self.disk, self.metrics, self.tracer)
         self.mfs = MetadataFS(config.meta, config.mds_disk)
         self.journal = Journal(self.mfs.journal_base, config.meta.journal_blocks)
         if config.meta.layout == "embedded":
@@ -48,6 +57,8 @@ class MetadataServer:
             self.layout = NormalLayout(config.meta, self.mfs)
         else:  # pragma: no cover - guarded by MetaParams validation
             raise ConfigError(f"unknown layout {config.meta.layout!r}")
+        self.layout.metrics = self.metrics
+        self.layout.tracer = self.tracer
         self._cpu_s = 0.0
         self._overhead_s = 0.0
         self._dirty: set[int] = set()
@@ -147,6 +158,8 @@ class MetadataServer:
         self._redo.clear()  # checkpointed state needs no replay
         self.metrics.incr("mds.checkpoints")
         self.metrics.incr("mds.checkpoint_blocks", flushed)
+        if self.tracer.enabled:
+            self.tracer.emit("meta", "checkpoint", blocks=flushed)
         return flushed
 
     def flush(self) -> None:
@@ -200,6 +213,7 @@ class MetadataServer:
         return self.elapsed_s
 
     def _execute(self, plan: AccessPlan, op_name: str, requests: int = 1) -> None:
+        t0 = self.elapsed_s
         for block, count in plan.reads:
             self.cache.read(block, count)
         if plan.journal_records > 0 and self.config.meta.sync_writes:
@@ -207,6 +221,10 @@ class MetadataServer:
                 self.disk.submit(req)
             self.metrics.incr("mds.journal_writes", plan.journal_records)
             self._redo.append(list(plan.dirties))
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "meta", "journal_commit", records=plan.journal_records
+                )
         if plan.dirties:
             self._dirty.update(plan.dirties)
         self._cpu_s += plan.cpu_s
@@ -217,3 +235,7 @@ class MetadataServer:
             self._ops_since_ckpt += 1
             if self._ops_since_ckpt >= self.config.meta.journal_interval_ops:
                 self.checkpoint()
+        elapsed = self.elapsed_s - t0
+        self.metrics.observe("mds.op_latency_s", elapsed)
+        if self.tracer.enabled:
+            self.tracer.emit("meta", op_name, t=t0, dur=elapsed)

@@ -1,0 +1,59 @@
+"""Observability substrate: structured tracing, histograms, exporters.
+
+``repro.obs`` is the profiling layer every performance PR justifies itself
+with: a :class:`Tracer` collects structured, simulated-time
+:class:`TraceEvent` records from the instrumented layers (allocator window
+transitions, PAG fallbacks, disk seek/transfer, cache hits, journal
+commits), :class:`Histogram` sketches latency/size distributions inside
+:class:`~repro.sim.metrics.Metrics`, and the exporters dump a run as JSONL
+or a ``chrome://tracing`` file.  See ``docs/PROFILING.md`` and
+``python -m repro trace``.
+
+The package deliberately imports nothing from the rest of the simulator so
+any layer can depend on it without cycles.
+"""
+
+from repro.obs.export import (
+    chrome_trace_dict,
+    read_chrome,
+    read_jsonl,
+    to_chrome,
+    to_jsonl,
+)
+from repro.obs.histogram import Histogram, HistogramSnapshot, bucket_mid, bucket_of
+from repro.obs.report import (
+    format_breakdown,
+    layer_counts,
+    layer_times,
+    op_counts,
+    op_times,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    coerce_tracer,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "Histogram",
+    "HistogramSnapshot",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+    "bucket_mid",
+    "bucket_of",
+    "chrome_trace_dict",
+    "coerce_tracer",
+    "format_breakdown",
+    "layer_counts",
+    "layer_times",
+    "op_counts",
+    "op_times",
+    "read_chrome",
+    "read_jsonl",
+    "to_chrome",
+    "to_jsonl",
+]

@@ -1,0 +1,130 @@
+"""Trace exporters: JSONL and Chrome trace-event format.
+
+JSONL is the lossless interchange format (one event per line, round-trips
+through :func:`read_jsonl`).  The Chrome format produces a file loadable in
+``chrome://tracing`` / Perfetto: events become complete ("X") slices with
+microsecond timestamps, the layer as the category and the stream id as the
+thread id, so concurrent streams render as parallel tracks.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from pathlib import Path
+from typing import IO, Any
+
+from repro.obs.trace import TraceEvent
+
+
+def _open_out(dest: str | Path | IO[str]):
+    """Return (file object, needs_close) for a path or writable object."""
+    if hasattr(dest, "write"):
+        return dest, False
+    return open(dest, "w", encoding="utf-8"), True
+
+
+# -- JSONL ------------------------------------------------------------------
+
+def to_jsonl(events: Iterable[TraceEvent], dest: str | Path | IO[str]) -> int:
+    """Write events as JSON Lines; returns the number written."""
+    out, close = _open_out(dest)
+    n = 0
+    try:
+        for e in events:
+            record = {
+                "t": e.t,
+                "layer": e.layer,
+                "op": e.op,
+                "dur": e.dur,
+                "stream": e.stream,
+                "attrs": e.attrs,
+            }
+            out.write(json.dumps(record, default=str) + "\n")
+            n += 1
+    finally:
+        if close:
+            out.close()
+    return n
+
+
+def read_jsonl(src: str | Path | IO[str]) -> list[TraceEvent]:
+    """Read events written by :func:`to_jsonl`."""
+    if hasattr(src, "read"):
+        lines = src.read().splitlines()
+    else:
+        lines = Path(src).read_text(encoding="utf-8").splitlines()
+    events: list[TraceEvent] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        events.append(
+            TraceEvent(
+                t=float(rec["t"]),
+                layer=rec["layer"],
+                op=rec["op"],
+                dur=float(rec.get("dur", 0.0)),
+                stream=rec.get("stream"),
+                attrs=dict(rec.get("attrs", {})),
+            )
+        )
+    return events
+
+
+# -- Chrome trace-event format ---------------------------------------------
+
+def chrome_trace_dict(events: Iterable[TraceEvent]) -> dict[str, Any]:
+    """Build the ``chrome://tracing`` JSON document for ``events``."""
+    trace_events = []
+    for e in events:
+        trace_events.append(
+            {
+                "name": e.op,
+                "cat": e.layer,
+                "ph": "X",
+                "ts": e.t * 1e6,       # microseconds, per the format spec
+                "dur": e.dur * 1e6,
+                "pid": 0,
+                "tid": e.stream if isinstance(e.stream, int) else 0,
+                "args": e.attrs,
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def to_chrome(events: Iterable[TraceEvent], dest: str | Path | IO[str]) -> int:
+    """Write the Chrome trace-event JSON; returns the number of events."""
+    doc = chrome_trace_dict(events)
+    out, close = _open_out(dest)
+    try:
+        json.dump(doc, out, default=str)
+    finally:
+        if close:
+            out.close()
+    return len(doc["traceEvents"])
+
+
+def read_chrome(src: str | Path | IO[str]) -> list[TraceEvent]:
+    """Read a Chrome trace-event JSON back into :class:`TraceEvent` form."""
+    if hasattr(src, "read"):
+        doc = json.load(src)
+    else:
+        with open(src, encoding="utf-8") as f:
+            doc = json.load(f)
+    raw = doc["traceEvents"] if isinstance(doc, dict) else doc
+    events: list[TraceEvent] = []
+    for rec in raw:
+        tid = rec.get("tid", 0)
+        events.append(
+            TraceEvent(
+                t=float(rec["ts"]) / 1e6,
+                layer=rec.get("cat", ""),
+                op=rec.get("name", ""),
+                dur=float(rec.get("dur", 0.0)) / 1e6,
+                stream=tid if tid != 0 else None,
+                attrs=dict(rec.get("args", {})),
+            )
+        )
+    return events

@@ -1,0 +1,184 @@
+"""Log2-bucketed histograms for latency and size distributions.
+
+A :class:`Histogram` is a fixed-memory distribution sketch: each observed
+value lands in the power-of-two bucket containing it, so the structure is
+O(log(range)) regardless of how many samples arrive, and two snapshots can
+be diffed bucket-wise — exactly the property :class:`~repro.sim.metrics.
+Metrics` needs so histogram state participates in phase diffing the same
+way counters do.
+
+Percentile queries return the geometric midpoint of the bucket holding the
+requested rank, clamped to the exact observed extrema, so summaries are
+accurate to within a factor of two (plenty for "where did simulated time
+go" questions) while staying cheap on the hot path.
+
+This module intentionally imports nothing from the rest of the package so
+the whole :mod:`repro.obs` layer stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+def bucket_of(value: float) -> int:
+    """Bucket index of a positive value: the binary exponent ``e`` such
+    that ``2**(e-1) <= value < 2**e``.
+
+    >>> bucket_of(1.0), bucket_of(1.5), bucket_of(4.0)
+    (1, 1, 3)
+    """
+    return math.frexp(value)[1]
+
+
+def bucket_mid(exponent: int) -> float:
+    """Representative value of a bucket: the midpoint of [2**(e-1), 2**e)."""
+    return 0.75 * 2.0**exponent
+
+
+class Histogram:
+    """Mutable log2 histogram of non-negative samples."""
+
+    __slots__ = ("_buckets", "_zeros", "_count", "_sum", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, int] = {}
+        self._zeros = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+
+    # -- recording ---------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Record one sample (must be >= 0)."""
+        if value < 0:
+            raise ValueError(f"histogram values must be non-negative: {value}")
+        self._count += 1
+        self._sum += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if value == 0:
+            self._zeros += 1
+            return
+        e = math.frexp(value)[1]
+        self._buckets[e] = self._buckets.get(e, 0) + 1
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    def snapshot(self) -> "HistogramSnapshot":
+        """Immutable copy for later diffing."""
+        return HistogramSnapshot(
+            count=self._count,
+            total=self._sum,
+            zeros=self._zeros,
+            buckets=dict(self._buckets),
+            minimum=self._min,
+            maximum=self._max,
+        )
+
+    def reset(self) -> None:
+        self._buckets.clear()
+        self._zeros = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min = None
+        self._max = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram(count={self._count}, sum={self._sum:.6g})"
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Immutable point-in-time (or phase-delta) histogram state.
+
+    For deltas produced by :meth:`since`, ``minimum``/``maximum`` are
+    bucket-edge approximations — exact extrema of just the delta period are
+    not recoverable from bucket counts.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    zeros: int = 0
+    buckets: dict[int, int] = field(default_factory=dict)
+    minimum: float | None = None
+    maximum: float | None = None
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Approximate p-th percentile (p in [0, 100])."""
+        if not (0.0 <= p <= 100.0):
+            raise ValueError(f"percentile must be in [0, 100]: {p}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(self.count * p / 100.0))
+        if rank <= self.zeros:
+            return 0.0
+        seen = self.zeros
+        value = 0.0
+        for e in sorted(self.buckets):
+            seen += self.buckets[e]
+            if seen >= rank:
+                value = bucket_mid(e)
+                break
+        if self.minimum is not None:
+            value = max(value, self.minimum)
+        if self.maximum is not None:
+            value = min(value, self.maximum)
+        return value
+
+    def since(self, snap: "HistogramSnapshot | None") -> "HistogramSnapshot":
+        """Bucket-wise delta of this snapshot minus an earlier one."""
+        if snap is None or snap.count == 0:
+            return self
+        buckets = {
+            e: c - snap.buckets.get(e, 0)
+            for e, c in self.buckets.items()
+            if c - snap.buckets.get(e, 0) != 0
+        }
+        zeros = self.zeros - snap.zeros
+        lo: float | None = None
+        hi: float | None = None
+        if zeros > 0:
+            lo = 0.0
+        elif buckets:
+            lo = 2.0 ** (min(buckets) - 1)
+        if buckets:
+            hi = 2.0 ** max(buckets)
+        elif zeros > 0:
+            hi = 0.0
+        return HistogramSnapshot(
+            count=self.count - snap.count,
+            total=self.total - snap.total,
+            zeros=zeros,
+            buckets=buckets,
+            minimum=lo,
+            maximum=hi,
+        )
+
+    def summary(self) -> dict[str, float]:
+        """Flat percentile summary, ready for reports."""
+        return {
+            "count": float(self.count),
+            "total": self.total,
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+            "min": self.minimum if self.minimum is not None else 0.0,
+            "max": self.maximum if self.maximum is not None else 0.0,
+        }

@@ -1,0 +1,78 @@
+"""Per-layer aggregation of trace events into a time/latency breakdown.
+
+The questions a profiling session asks first: *which layer consumed the
+simulated time* (disk positioning vs transfer vs metadata), and *which
+operations dominate the event stream* (layout misses vs promotions, cache
+hits vs misses).  These helpers answer both from a list of
+:class:`~repro.obs.trace.TraceEvent` records, with no dependency on the
+rest of the simulator.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.obs.trace import TraceEvent
+
+
+def layer_times(events: Iterable[TraceEvent]) -> dict[str, float]:
+    """Total simulated seconds (sum of durations) per layer."""
+    out: dict[str, float] = {}
+    for e in events:
+        out[e.layer] = out.get(e.layer, 0.0) + e.dur
+    return out
+
+
+def layer_counts(events: Iterable[TraceEvent]) -> dict[str, int]:
+    """Event count per layer."""
+    out: dict[str, int] = {}
+    for e in events:
+        out[e.layer] = out.get(e.layer, 0) + 1
+    return out
+
+
+def op_counts(events: Iterable[TraceEvent]) -> dict[str, int]:
+    """Event count per ``layer.op``."""
+    out: dict[str, int] = {}
+    for e in events:
+        key = f"{e.layer}.{e.op}"
+        out[key] = out.get(key, 0) + 1
+    return out
+
+
+def op_times(events: Iterable[TraceEvent]) -> dict[str, float]:
+    """Total simulated seconds per ``layer.op``."""
+    out: dict[str, float] = {}
+    for e in events:
+        key = f"{e.layer}.{e.op}"
+        out[key] = out.get(key, 0.0) + e.dur
+    return out
+
+
+def format_breakdown(
+    events: Iterable[TraceEvent], top_ops: int = 12
+) -> str:
+    """Human-readable per-layer breakdown plus the busiest operations."""
+    events = list(events)
+    if not events:
+        return "no trace events recorded"
+    times = layer_times(events)
+    counts = layer_counts(events)
+    total = sum(times.values())
+    lines = ["layer breakdown (simulated time):"]
+    lines.append(f"  {'layer':<8} {'time (s)':>12} {'share':>7} {'events':>9}")
+    for layer in sorted(times, key=lambda k: times[k], reverse=True):
+        share = times[layer] / total if total > 0 else 0.0
+        lines.append(
+            f"  {layer:<8} {times[layer]:>12.6f} {share:>6.1%} {counts[layer]:>9d}"
+        )
+    lines.append(f"  {'total':<8} {total:>12.6f} {'100.0%':>7} {len(events):>9d}")
+
+    by_op_n = op_counts(events)
+    by_op_t = op_times(events)
+    lines.append("")
+    lines.append(f"top operations (by event count, top {top_ops}):")
+    lines.append(f"  {'op':<28} {'events':>9} {'time (s)':>12}")
+    for op in sorted(by_op_n, key=lambda k: by_op_n[k], reverse=True)[:top_ops]:
+        lines.append(f"  {op:<28} {by_op_n[op]:>9d} {by_op_t[op]:>12.6f}")
+    return "\n".join(lines)

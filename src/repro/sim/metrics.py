@@ -1,9 +1,13 @@
 """Metric accounting shared by disks, schedulers, allocators and the MDS.
 
-A :class:`Metrics` object is a hierarchical bag of named counters and timers.
-Components increment counters as side effects; experiment runners snapshot
-and diff them, so a single file system instance can serve several phases
+A :class:`Metrics` object is a hierarchical bag of named counters, float
+accumulators and log2 histograms.  Components increment counters and
+observe distributions as side effects; experiment runners snapshot and
+diff them, so a single file system instance can serve several phases
 (e.g. the micro-benchmark's write phase and read phase) with clean books.
+Histogram state participates in snapshots and diffs exactly like counters:
+``since`` returns only the samples recorded after the snapshot, so no
+stale distribution leaks across benchmark phases.
 """
 
 from __future__ import annotations
@@ -11,13 +15,18 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro.obs.histogram import Histogram, HistogramSnapshot
+
+_EMPTY_HISTOGRAM = HistogramSnapshot()
+
 
 class Metrics:
-    """Named counters (integers) and accumulators (floats)."""
+    """Named counters (integers), accumulators (floats) and histograms."""
 
     def __init__(self) -> None:
         self._counters: Counter[str] = Counter()
         self._accumulators: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
 
     # -- counters ---------------------------------------------------------
     def incr(self, name: str, amount: int = 1) -> None:
@@ -37,13 +46,33 @@ class Metrics:
         """Current value of accumulator ``name`` (zero if never touched)."""
         return self._accumulators.get(name, 0.0)
 
+    # -- histograms -------------------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample in histogram ``name`` (created empty)."""
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram()
+        h.observe(value)
+
+    def histogram(self, name: str) -> HistogramSnapshot:
+        """Snapshot of histogram ``name`` (empty if never observed)."""
+        h = self._histograms.get(name)
+        return h.snapshot() if h is not None else _EMPTY_HISTOGRAM
+
+    def histogram_names(self) -> list[str]:
+        return sorted(self._histograms)
+
     # -- snapshots --------------------------------------------------------
     def snapshot(self) -> "MetricsSnapshot":
         """Capture current values for later diffing."""
-        return MetricsSnapshot(dict(self._counters), dict(self._accumulators))
+        return MetricsSnapshot(
+            dict(self._counters),
+            dict(self._accumulators),
+            {k: h.snapshot() for k, h in self._histograms.items()},
+        )
 
     def since(self, snap: "MetricsSnapshot") -> "MetricsSnapshot":
-        """Delta of all counters/accumulators since ``snap``."""
+        """Delta of all counters/accumulators/histograms since ``snap``."""
         counters = {
             k: v - snap.counters.get(k, 0)
             for k, v in self._counters.items()
@@ -54,12 +83,18 @@ class Metrics:
             for k, v in self._accumulators.items()
             if v - snap.accumulators.get(k, 0.0) != 0.0
         }
-        return MetricsSnapshot(counters, accs)
+        hists: dict[str, HistogramSnapshot] = {}
+        for k, h in self._histograms.items():
+            delta = h.snapshot().since(snap.histograms.get(k))
+            if delta.count != 0:
+                hists[k] = delta
+        return MetricsSnapshot(counters, accs, hists)
 
     def reset(self) -> None:
-        """Zero every counter and accumulator."""
+        """Zero every counter, accumulator and histogram."""
         self._counters.clear()
         self._accumulators.clear()
+        self._histograms.clear()
 
     def as_dict(self) -> dict[str, float]:
         """Flatten to a plain dict (counters first, accumulators second)."""
@@ -77,12 +112,20 @@ class MetricsSnapshot:
 
     counters: dict[str, int] = field(default_factory=dict)
     accumulators: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, HistogramSnapshot] = field(default_factory=dict)
 
     def count(self, name: str) -> int:
         return self.counters.get(name, 0)
 
     def total(self, name: str) -> float:
         return self.accumulators.get(name, 0.0)
+
+    def histogram(self, name: str) -> HistogramSnapshot:
+        return self.histograms.get(name, _EMPTY_HISTOGRAM)
+
+    def percentile(self, name: str, p: float) -> float:
+        """Convenience: p-th percentile of histogram ``name``."""
+        return self.histogram(name).percentile(p)
 
 
 @dataclass(frozen=True)
