@@ -1,0 +1,44 @@
+"""Benchmark baseline harness: pinned-seed runs, BENCH JSON, regression gate.
+
+``repro.bench.baseline`` turns the registered paper-figure runners into a
+longitudinal performance record: :func:`collect` runs one runner at a
+pinned scale/seed and renders a schema-versioned, canonically-serialized
+``BENCH_<name>.json`` document (per-phase throughput, latency percentiles,
+and the :mod:`repro.obs.layout` fragmentation metrics), and
+:func:`compare` diffs a fresh run against the committed baseline with
+per-metric directional tolerances, so CI can fail on a layout or
+throughput regression.  See ``python -m repro bench`` and
+``docs/LAYOUT.md``.
+"""
+
+from repro.bench.baseline import (
+    BENCH_SCHEMA_VERSION,
+    PINNED_SCALE,
+    PINNED_SEED,
+    PINNED_RUNNERS,
+    Regression,
+    baseline_filename,
+    collect,
+    compare,
+    dumps,
+    flatten,
+    format_regressions,
+    load,
+    render,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "PINNED_RUNNERS",
+    "PINNED_SCALE",
+    "PINNED_SEED",
+    "Regression",
+    "baseline_filename",
+    "collect",
+    "compare",
+    "dumps",
+    "flatten",
+    "format_regressions",
+    "load",
+    "render",
+]

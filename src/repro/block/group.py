@@ -59,6 +59,22 @@ class AllocationGroup:
     def contains(self, block: int) -> bool:
         return self.base <= block < self.end
 
+    def used_runs(self) -> list[tuple[int, int]]:
+        """Used ``(start, length)`` runs: the complement of the free runs.
+
+        Global block coordinates, sorted ascending; the layout inspector's
+        occupancy heatmap is drawn from these.
+        """
+        runs: list[tuple[int, int]] = []
+        cursor = self.base
+        for start, length in self.free.runs():
+            if start > cursor:
+                runs.append((cursor, start - cursor))
+            cursor = start + length
+        if cursor < self.end:
+            runs.append((cursor, self.end - cursor))
+        return runs
+
     def allocate(
         self, count: int, hint: int | None = None, minimum: int | None = None
     ) -> tuple[int, int]:

@@ -8,9 +8,13 @@ replay shared-file traces.  Everything is simulated — no disks are touched.
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
+import os
 import sys
 
 from repro import __version__
+from repro.bench import baseline as bench_baseline
 from repro.core.run import run as run_experiment
 from repro.core.run import runner_names
 from repro.core.runners import interference_claim, prealloc_waste
@@ -32,8 +36,12 @@ from repro.workloads.traces import synth_checkpoint_trace
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "list", False):
+        for name in runner_names():
+            print(name)
+        return 0
     if args.command is None:
-        parser.print_help()
+        parser.print_help(sys.stderr)
         return 2
     return args.func(args)
 
@@ -45,6 +53,26 @@ def _positive_int(text: str) -> int:
     return value
 
 
+#: Named scales accepted wherever --scale takes a value ("smoke" is the
+#: pinned baseline configuration; see repro.bench.baseline).
+NAMED_SCALES = {"smoke": 0.05}
+
+
+def _scale(text: str) -> float:
+    if text in NAMED_SCALES:
+        return NAMED_SCALES[text]
+    try:
+        value = float(text)
+    except ValueError:
+        names = ", ".join(sorted(NAMED_SCALES))
+        raise argparse.ArgumentTypeError(
+            f"must be a float or one of: {names}"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive: {text}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -52,45 +80,49 @@ def build_parser() -> argparse.ArgumentParser:
         "Fragmentation in parallel file system' (ICPP 2011).",
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list registered experiment runners and exit",
+    )
     sub = parser.add_subparsers(dest="command")
 
     p = sub.add_parser("fig6a", help="Fig 6(a): throughput vs stream count")
-    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--scale", type=_scale, default=1.0)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_fig6a)
 
     p = sub.add_parser("fig6b", help="Fig 6(b): throughput vs request size")
-    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--scale", type=_scale, default=1.0)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_fig6b)
 
     p = sub.add_parser("fig7", help="Fig 7: IOR2/BTIO macro benchmarks")
-    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--scale", type=_scale, default=1.0)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_fig7)
 
     p = sub.add_parser("table1", help="Table I: extents and MDS CPU")
-    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--scale", type=_scale, default=1.0)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_table1)
 
     p = sub.add_parser("fig8", help="Fig 8: Metarates metadata benchmark")
-    p.add_argument("--scale", type=float, default=0.2)
+    p.add_argument("--scale", type=_scale, default=0.2)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_fig8)
 
     p = sub.add_parser("fig9", help="Fig 9: file system aging")
-    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--scale", type=_scale, default=0.5)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_fig9)
 
     p = sub.add_parser("fig10", help="Fig 10: PostMark and applications")
-    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--scale", type=_scale, default=0.5)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_fig10)
 
     p = sub.add_parser("claims", help="§I and §III.C headline claims")
-    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--scale", type=_scale, default=1.0)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_claims)
 
@@ -101,7 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("runner", choices=runner_names(),
                    help="registered experiment runner to trace")
-    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--scale", type=_scale, default=0.25)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None,
                    help="output path (default: <runner>.trace.<ext>)")
@@ -110,6 +142,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--capacity", type=_positive_int, default=262144,
                    help="trace ring-buffer capacity (oldest events evicted)")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "inspect",
+        help="run an experiment and print its layout fragmentation report(s)",
+    )
+    p.add_argument("runner", choices=runner_names(),
+                   help="registered experiment runner to inspect")
+    p.add_argument("--scale", type=_scale, default=0.25,
+                   help="workload scale: a float, or 'smoke' (=0.05)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--tag", default=None,
+                   help="only print captures whose tag contains this substring")
+    p.add_argument("--max-files", type=_positive_int, default=4,
+                   help="worst-interleave files to detail per report")
+    p.add_argument("--no-heatmap", action="store_true",
+                   help="omit the ASCII block-map heatmap")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also dump all reports as JSON to PATH")
+    p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark baseline harness: emit/compare BENCH_<name>.json",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    b = bench_sub.add_parser(
+        "run", help="run pinned-configuration baselines and write BENCH files"
+    )
+    b.add_argument("--out-dir", default=".",
+                   help="directory to write BENCH_<name>.json into")
+    b.add_argument("--names", default=",".join(bench_baseline.PINNED_RUNNERS),
+                   help="comma-separated runner names")
+    b.add_argument("--scale", type=_scale, default=bench_baseline.PINNED_SCALE)
+    b.add_argument("--seed", type=int, default=bench_baseline.PINNED_SEED)
+    b.add_argument("--layouts", action="store_true",
+                   help="also write LAYOUT_<name>.txt report/heatmap artifacts")
+    b.set_defaults(func=cmd_bench_run)
+    b = bench_sub.add_parser(
+        "compare",
+        help="re-run baselines and diff against committed BENCH files "
+        "(exit 1 on regression)",
+    )
+    b.add_argument("--baseline-dir", default=".",
+                   help="directory holding the committed BENCH_<name>.json")
+    b.add_argument("--current-dir", default=None,
+                   help="compare against BENCH files in this directory "
+                   "instead of re-running")
+    b.add_argument("--names", default=",".join(bench_baseline.PINNED_RUNNERS),
+                   help="comma-separated runner names")
+    b.add_argument("--scale", type=_scale, default=bench_baseline.PINNED_SCALE)
+    b.add_argument("--seed", type=int, default=bench_baseline.PINNED_SEED)
+    b.set_defaults(func=cmd_bench_compare)
 
     p = sub.add_parser(
         "microbench", help="one-off shared-file run with a layout map"
@@ -325,6 +409,91 @@ def cmd_claims(args) -> int:
 
 # -- utility commands --------------------------------------------------------------
 
+def cmd_inspect(args) -> int:
+    result = run_experiment(args.runner, scale=args.scale, seed=args.seed)
+    if not result.layouts:
+        print(
+            f"{args.runner}: no layout captures (runner does not build a "
+            f"DataPlane/MetadataServer)",
+            file=sys.stderr,
+        )
+        return 1
+    tags = [t for t in sorted(result.layouts) if not args.tag or args.tag in t]
+    if not tags:
+        print(
+            f"{args.runner}: no capture tag contains {args.tag!r}; "
+            f"captures: {sorted(result.layouts)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{args.runner} (fingerprint {result.fingerprint}): "
+          f"{len(tags)} layout capture(s)")
+    for tag in tags:
+        report = result.layouts[tag]
+        if args.no_heatmap:
+            report = dataclasses.replace(report, heatmap="")
+        print()
+        print(report.format(max_files=args.max_files))
+    if args.json:
+        doc = {tag: result.layouts[tag].to_dict() for tag in tags}
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"\nwrote {len(tags)} report(s) to {args.json}")
+    return 0
+
+
+def cmd_bench_run(args) -> int:
+    names = [n.strip() for n in args.names.split(",") if n.strip()]
+    os.makedirs(args.out_dir, exist_ok=True)
+    for name in names:
+        result = run_experiment(name, scale=args.scale, seed=args.seed)
+        doc = bench_baseline.render(result, scale=args.scale, seed=args.seed)
+        path = os.path.join(args.out_dir, bench_baseline.baseline_filename(name))
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(bench_baseline.dumps(doc))
+        print(f"{name}: wrote {path}")
+        if args.layouts and result.layouts:
+            lpath = os.path.join(args.out_dir, f"LAYOUT_{name}.txt")
+            with open(lpath, "w", encoding="utf-8") as fh:
+                for tag in sorted(result.layouts):
+                    fh.write(result.layouts[tag].format())
+                    fh.write("\n\n")
+            print(f"{name}: wrote {lpath}")
+    return 0
+
+
+def cmd_bench_compare(args) -> int:
+    names = [n.strip() for n in args.names.split(",") if n.strip()]
+    failed = False
+    for name in names:
+        base_path = os.path.join(
+            args.baseline_dir, bench_baseline.baseline_filename(name)
+        )
+        try:
+            baseline = bench_baseline.load(base_path)
+        except FileNotFoundError:
+            print(f"{name}: FAIL — no committed baseline at {base_path}")
+            failed = True
+            continue
+        if args.current_dir is not None:
+            cur_path = os.path.join(
+                args.current_dir, bench_baseline.baseline_filename(name)
+            )
+            current = bench_baseline.load(cur_path)
+        else:
+            current = bench_baseline.collect(
+                name, scale=args.scale, seed=args.seed
+            )
+        regressions = bench_baseline.compare(baseline, current)
+        if regressions:
+            print(f"{name}: FAIL — {bench_baseline.format_regressions(regressions)}")
+            failed = True
+        else:
+            print(f"{name}: ok ({len(bench_baseline.flatten(current))} metrics)")
+    return 1 if failed else 0
+
+
 def cmd_trace(args) -> int:
     from repro.obs import Tracer, format_breakdown, to_chrome, to_jsonl
 
@@ -486,6 +655,9 @@ def cmd_info(args) -> int:
             [cfg.name, cfg.alloc.policy, cfg.meta.layout, cfg.meta.htree_index]
         )
     table.print()
+    print()
+    print("registered runners (inspect/bench/trace targets):")
+    print("  " + " ".join(runner_names()))
     return 0
 
 

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import ConfigError
+from repro.obs.layout import LayoutReport
 from repro.obs.trace import Tracer
 from repro.sim.metrics import MetricsSnapshot, ThroughputResult
 
@@ -53,6 +54,9 @@ class RunResult:
     metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
     payload: Any = None
     trace: Tracer | None = None
+    #: Post-run layout reports keyed by capture tag (policy/profile/app),
+    #: produced by :class:`~repro.obs.layout.LayoutInspector`.
+    layouts: dict[str, LayoutReport] = field(default_factory=dict)
 
     def phase(self, label: str) -> ThroughputResult:
         try:
@@ -65,6 +69,15 @@ class RunResult:
 
     def phase_names(self) -> list[str]:
         return sorted(self.phases)
+
+    def layout(self, tag: str) -> LayoutReport:
+        try:
+            return self.layouts[tag]
+        except KeyError:
+            raise KeyError(
+                f"run {self.name!r} has no layout capture {tag!r}; "
+                f"captures: {sorted(self.layouts)}"
+            ) from None
 
 
 #: Registry of runner names -> callables returning :class:`RunResult`.

@@ -30,6 +30,7 @@ from repro.fs.profiles import (
 )
 from repro.fs.redbud import RedbudFileSystem
 from repro.meta.mds import MetadataServer
+from repro.obs.layout import LayoutInspector, LayoutReport
 from repro.obs.trace import NullTracer, Tracer, coerce_tracer
 from repro.sim.metrics import Metrics, MetricsSnapshot, ThroughputResult
 from repro.units import KiB, MiB
@@ -56,6 +57,7 @@ class _Run:
         self.metrics = Metrics()
         self.tracer = coerce_tracer(trace)
         self.phases: dict[str, ThroughputResult] = {}
+        self.layouts: dict[str, LayoutReport] = {}
 
     def plane(self, cfg: FSConfig) -> DataPlane:
         plane = DataPlane(cfg, self.metrics, self.tracer)
@@ -81,6 +83,21 @@ class _Run:
             )
         return result
 
+    def capture(
+        self,
+        tag: str,
+        source: DataPlane | MetadataServer,
+        region_bytes: int | None = None,
+    ) -> LayoutReport:
+        """Snapshot the post-phase layout of a plane or MDS under ``tag``."""
+        inspector = LayoutInspector(region_bytes=region_bytes)
+        if isinstance(source, MetadataServer):
+            report = inspector.inspect_mds(source, label=tag)
+        else:
+            report = inspector.inspect_dataplane(source, label=tag)
+        self.layouts[tag] = report
+        return report
+
     def result(self, payload) -> RunResult:
         return RunResult(
             name=self.name,
@@ -89,6 +106,7 @@ class _Run:
             metrics=self.metrics.snapshot(),
             payload=payload,
             trace=self.tracer if isinstance(self.tracer, Tracer) else None,
+            layouts=self.layouts,
         )
 
 
@@ -142,6 +160,7 @@ def micro_stream_count(
             run.phase(f"write:{policy}:n{n}", bench.phase1_write(plane, f))
             plane.close_file(f)
             result = run.phase(f"read:{policy}:n{n}", bench.phase2_read(plane, f))
+            run.capture(f"{policy}:n{n}", plane, region_bytes=bench.region_bytes)
             throughput[policy][n] = result.mib_per_s
             extents[policy][n] = f.extent_count
     return run.result(Fig6aResult(list(stream_counts), throughput, extents))
@@ -193,6 +212,9 @@ def micro_request_size(
             plane.close_file(f)
             result = run.phase(
                 f"read:{policy}:req{size}", bench.phase2_read(plane, f)
+            )
+            run.capture(
+                f"{policy}:req{size}", plane, region_bytes=bench.region_bytes
             )
             throughput[policy][size] = result.mib_per_s
     return run.result(Fig6bResult(list(request_sizes), throughput))
@@ -261,6 +283,7 @@ def macro_benchmarks(
             w = run.phase(f"write:IOR:{tag}", ior.write_phase(plane, f))
             plane.close_file(f)
             r = run.phase(f"read:IOR:{tag}", ior.read_phase(plane, f))
+            run.capture(f"IOR:{tag}", plane, region_bytes=ior.file_bytes // ior.nprocs)
             payload.runs.append(
                 _macro_run("IOR", policy, collective, cfg, run, snap, f, w, r)
             )
@@ -278,6 +301,7 @@ def macro_benchmarks(
             w = run.phase(f"write:BTIO:{tag}", bt.write_phase(plane, f))
             plane.close_file(f)
             r = run.phase(f"read:BTIO:{tag}", bt.read_phase(plane, f))
+            run.capture(f"BTIO:{tag}", plane)
             payload.runs.append(
                 _macro_run("BTIO", policy, collective, cfg, run, snap, f, w, r)
             )
@@ -349,6 +373,7 @@ def table1_segments(
         metrics=base.metrics,
         payload=Table1Result(rows=base.payload.runs),
         trace=base.trace,
+        layouts=base.layouts,
     )
 
 
@@ -413,6 +438,8 @@ def metarates_suite(
             ("readdir-stat", wl.run_readdir_stat),
             ("delete", wl.run_delete),
         ):
+            if name == "delete":  # snapshot the populated namespace first
+                run.capture(cfg.name, mds)
             mds.drop_caches()
             snap = run.metrics.snapshot()
             result = run.phase(f"{name}:{cfg.name}", fn(mds, dirs))
@@ -486,6 +513,7 @@ def aging_impact(
             dirs = wl.setup_dirs(mds)
             mds.drop_caches()
             created = run.phase(f"create:{cfg.name}:u{util}", wl.run_create(mds, dirs))
+            run.capture(f"{cfg.name}:u{util}", mds)
             deleted = run.phase(f"delete:{cfg.name}:u{util}", wl.run_delete(mds, dirs))
             payload.runs.append(
                 AgingRun(cfg.name, util, created.ops_per_s, deleted.ops_per_s)
@@ -562,6 +590,8 @@ def postmark_apps(
                 ),
             )
         payload.apps[cfg.name] = apps
+        run.capture(f"apps:{cfg.name}:data", fs.data)
+        run.capture(f"apps:{cfg.name}:meta", fs.mds)
     return run.result(payload)
 
 

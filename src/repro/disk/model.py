@@ -10,6 +10,7 @@ request's last block, plus a per-block transfer time at the sequential rate.
 from __future__ import annotations
 
 import math
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 from repro.config import DiskParams
@@ -83,3 +84,25 @@ class ServiceTimeModel:
     def service_time(self, head: int, request: BlockRequest) -> float:
         """Total service time for ``request`` with the head at ``head``."""
         return self.positioning_time(head, request.start) + self.transfer_time(request.nblocks)
+
+    def sweep_cost(self, runs: Iterable[tuple[int, int]]) -> tuple[float, int]:
+        """Positioning cost of visiting ``(start, nblocks)`` runs in order.
+
+        Returns ``(total positioning seconds, nonzero repositions)`` for a
+        head sweep that reads each run back to back — the layout
+        inspector's model of one sequential scan over a (possibly
+        fragmented) file.  Transfer time is excluded on purpose: it is
+        identical for any layout of the same data, so the sweep cost
+        isolates what fragmentation alone costs.
+        """
+        total = 0.0
+        seeks = 0
+        head: int | None = None
+        for start, nblocks in runs:
+            if head is not None:
+                cost = self.positioning_time(head, start)
+                if cost > 0.0:
+                    total += cost
+                    seeks += 1
+            head = start + nblocks
+        return (total, seeks)

@@ -8,7 +8,7 @@ from repro.fs.redbud import RedbudFileSystem
 from repro.fs.client import ClientSession, make_clients
 from repro.fs.replication import ReplicationManager
 from repro.fs.defrag import DefragResult, defragment
-from repro.fs.verify import FsckReport, check_dataplane, check_mds
+from repro.fs.verify import Finding, FsckReport, check_dataplane, check_mds
 from repro.fs.profiles import (
     lustre_profile,
     redbud_mif_profile,
@@ -27,6 +27,7 @@ __all__ = [
     "ReplicationManager",
     "DefragResult",
     "defragment",
+    "Finding",
     "FsckReport",
     "check_dataplane",
     "check_mds",

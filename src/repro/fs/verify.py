@@ -24,25 +24,48 @@ from repro.meta.mds import MetadataServer
 from repro.meta.normal_layout import NormalLayout
 
 
+@dataclass(frozen=True)
+class Finding:
+    """One consistency violation: a stable machine-readable code plus a
+    human-readable message.  Codes are the contract tests pin against."""
+
+    code: str
+    message: str
+
+
 @dataclass
 class FsckReport:
     """Findings of one consistency pass."""
 
-    errors: list[str] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
     checked_extents: int = 0
     checked_inodes: int = 0
 
     @property
-    def clean(self) -> bool:
-        return not self.errors
+    def errors(self) -> list[str]:
+        """Finding messages (compatibility view of :attr:`findings`)."""
+        return [f.message for f in self.findings]
 
-    def error(self, message: str) -> None:
-        self.errors.append(message)
+    @property
+    def codes(self) -> set[str]:
+        """Distinct finding codes present in this report."""
+        return {f.code for f in self.findings}
+
+    def has(self, code: str) -> bool:
+        return any(f.code == code for f in self.findings)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def error(self, message: str, code: str = "generic") -> None:
+        self.findings.append(Finding(code=code, message=message))
 
     def raise_if_dirty(self) -> None:
-        if self.errors:
+        if self.findings:
             raise AssertionError(
-                f"fsck found {len(self.errors)} problems:\n" + "\n".join(self.errors)
+                f"fsck found {len(self.findings)} problems:\n"
+                + "\n".join(f"[{f.code}] {f.message}" for f in self.findings)
             )
 
 
@@ -56,7 +79,7 @@ def check_dataplane(plane: DataPlane, strict_accounting: bool = True) -> FsckRep
             try:
                 smap.validate()
             except Exception as exc:  # structural corruption
-                report.error(f"{f.name} slot {slot}: invalid extent map: {exc}")
+                report.error(f"{f.name} slot {slot}: invalid extent map: {exc}", code="extent-map-invalid")
                 continue
             for ext in smap:
                 report.checked_extents += 1
@@ -66,36 +89,42 @@ def check_dataplane(plane: DataPlane, strict_accounting: bool = True) -> FsckRep
                     group = plane.fsm.group_of(ext.physical)
                 except Exception:
                     report.error(
-                        f"{f.name} slot {slot}: extent {ext} outside the array"
+                        f"{f.name} slot {slot}: extent {ext} outside the array",
+                        code="extent-outside-array",
                     )
                     continue
                 if ext.physical_end > group.end:
                     report.error(
-                        f"{f.name} slot {slot}: extent {ext} crosses its PAG"
+                        f"{f.name} slot {slot}: extent {ext} crosses its PAG",
+                        code="extent-crosses-pag",
                     )
                 if group.index != f.layout[slot]:
                     report.error(
                         f"{f.name} slot {slot}: extent {ext} in PAG {group.index}, "
-                        f"layout says {f.layout[slot]}"
+                        f"layout says {f.layout[slot]}",
+                        code="extent-wrong-pag",
                     )
                 for b in range(ext.physical, ext.physical_end):
                     prior = owner.get(b)
                     if prior is not None:
                         report.error(
-                            f"block {b} owned by both {prior} and {f.name}#{slot}"
+                            f"block {b} owned by both {prior} and {f.name}#{slot}",
+                            code="double-owned-block",
                         )
                         break
                     owner[b] = f"{f.name}#{slot}"
                 if plane.fsm.group_of(ext.physical).free.is_free(ext.physical, 1):
                     report.error(
-                        f"{f.name} slot {slot}: extent {ext} maps free blocks"
+                        f"{f.name} slot {slot}: extent {ext} maps free blocks",
+                        code="extent-maps-free",
                     )
     if strict_accounting:
         held = plane.fsm.used_blocks - mapped_blocks
         if held < 0:
             report.error(
                 f"accounting: mapped {mapped_blocks} blocks exceed used "
-                f"{plane.fsm.used_blocks}"
+                f"{plane.fsm.used_blocks}",
+                code="accounting-overmapped",
             )
     return report
 
@@ -119,57 +148,74 @@ def _check_embedded(layout: EmbeddedLayout, report: FsckReport) -> None:
                 prior = content_owner.get(b)
                 if prior is not None:
                     report.error(
-                        f"content block {b} owned by dirs {prior} and {d.dir_id}"
+                        f"content block {b} owned by dirs {prior} and {d.dir_id}",
+                        code="content-block-overlap",
                     )
                 content_owner[b] = d.dir_id
         if d.dir_id not in layout.gdt:
-            report.error(f"directory {d.dir_id} missing from the directory table")
-        for name, ino in d.entries.items():
-            report.checked_inodes += 1
-            try:
-                inode = layout.inode_by_number(ino)
-            except Exception:
-                report.error(f"dir {d.dir_id}: entry {name!r} -> dangling inode {ino}")
-                continue
-            if not inode.is_dir and inode.home_block not in content_owner:
-                report.error(
-                    f"inode {ino} ({name!r}) home block {inode.home_block} "
-                    f"outside any directory content"
-                )
-            if inode.name != name:
-                report.error(
-                    f"inode {ino}: name {inode.name!r} != entry name {name!r}"
-                )
-    # Every live directory id must resolve through the table.
-    for d in layout._dirs.values():
-        try:
-            layout.gdt.dir_ino_of(d.dir_id)
-        except Exception:
-            report.error(f"directory table cannot resolve dir {d.dir_id}")
-
-
-def _check_normal(layout: NormalLayout, report: FsckReport) -> None:
-    mfs = layout.mfs
-    for d in layout._dirs.values():
-        if len(d.dentry_blocks) != len(d.fill):
-            report.error(f"dir {d.ino}: dentry-block/fill length mismatch")
-        occupancy = sum(d.fill)
-        if occupancy != len(d.entries):
-            report.error(
-                f"dir {d.ino}: fill says {occupancy} entries, map has {len(d.entries)}"
+            report.error(f"directory {d.dir_id} missing from the directory table",
+                code="dir-missing-from-gdt",
             )
         for name, ino in d.entries.items():
             report.checked_inodes += 1
             try:
                 inode = layout.inode_by_number(ino)
             except Exception:
-                report.error(f"dir {d.ino}: entry {name!r} -> dangling inode {ino}")
+                report.error(f"dir {d.dir_id}: entry {name!r} -> dangling inode {ino}",
+                    code="dangling-inode",
+                )
+                continue
+            if not inode.is_dir and inode.home_block not in content_owner:
+                report.error(
+                    f"inode {ino} ({name!r}) home block {inode.home_block} "
+                    f"outside any directory content",
+                    code="orphan-home-block",
+                )
+            if inode.name != name:
+                report.error(
+                    f"inode {ino}: name {inode.name!r} != entry name {name!r}",
+                    code="inode-name-mismatch",
+                )
+    # Every live directory id must resolve through the table.
+    for d in layout._dirs.values():
+        try:
+            layout.gdt.dir_ino_of(d.dir_id)
+        except Exception:
+            report.error(f"directory table cannot resolve dir {d.dir_id}",
+                code="gdt-unresolvable",
+            )
+
+
+def _check_normal(layout: NormalLayout, report: FsckReport) -> None:
+    mfs = layout.mfs
+    for d in layout._dirs.values():
+        if len(d.dentry_blocks) != len(d.fill):
+            report.error(f"dir {d.ino}: dentry-block/fill length mismatch",
+                code="dentry-fill-mismatch",
+            )
+        occupancy = sum(d.fill)
+        if occupancy != len(d.entries):
+            report.error(
+                f"dir {d.ino}: fill says {occupancy} entries, map has {len(d.entries)}",
+                code="entry-count-mismatch",
+            )
+        for name, ino in d.entries.items():
+            report.checked_inodes += 1
+            try:
+                inode = layout.inode_by_number(ino)
+            except Exception:
+                report.error(f"dir {d.ino}: entry {name!r} -> dangling inode {ino}",
+                    code="dangling-inode",
+                )
                 continue
             expected_block, expected_slot = mfs.itable_block_of(ino)
             if (inode.home_block, inode.home_slot) != (expected_block, expected_slot):
                 report.error(
                     f"inode {ino}: home {inode.home_block}/{inode.home_slot} != "
-                    f"itable {expected_block}/{expected_slot}"
+                    f"itable {expected_block}/{expected_slot}",
+                    code="inode-home-mismatch",
                 )
             if d.entry_block.get(name) not in d.dentry_blocks:
-                report.error(f"dir {d.ino}: entry {name!r} in unknown dentry block")
+                report.error(f"dir {d.ino}: entry {name!r} in unknown dentry block",
+                    code="entry-unknown-dentry-block",
+                )

@@ -65,6 +65,7 @@ class DirectoryLayout(abc.ABC):
         self.params = params
         self.mfs = mfs
         self._inodes: dict[int, Inode] = {}
+        self._dirs: dict[int, Any] = {}  # narrowed per layout in subclasses
         self.root: Any = None  # set by make_root()
 
     # -- required operations -------------------------------------------------
@@ -122,6 +123,14 @@ class DirectoryLayout(abc.ABC):
             return self._inodes[ino]
         except KeyError:
             raise FileNotFound(f"no inode {ino}") from None
+
+    def dirs(self) -> list[Any]:
+        """Live directory handles (observability accessor, creation order)."""
+        return list(self._dirs.values())
+
+    def lookup_inode(self, ino: int) -> Inode | None:
+        """Inode by number, or ``None`` — non-raising observability lookup."""
+        return self._inodes.get(ino)
 
     def _require_absent(self, entries: dict[str, int], name: str) -> None:
         if name in entries:

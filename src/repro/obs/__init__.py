@@ -21,6 +21,15 @@ from repro.obs.export import (
     to_jsonl,
 )
 from repro.obs.histogram import Histogram, HistogramSnapshot, bucket_mid, bucket_of
+from repro.obs.layout import (
+    LAYOUT_SCHEMA_VERSION,
+    DirectoryStats,
+    FileLayout,
+    FreeSpaceStats,
+    LayoutInspector,
+    LayoutReport,
+    block_heatmap,
+)
 from repro.obs.report import (
     format_breakdown,
     layer_counts,
@@ -37,10 +46,17 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "LAYOUT_SCHEMA_VERSION",
     "NULL_TRACER",
+    "DirectoryStats",
+    "FileLayout",
+    "FreeSpaceStats",
     "Histogram",
     "HistogramSnapshot",
+    "LayoutInspector",
+    "LayoutReport",
     "NullTracer",
+    "block_heatmap",
     "TraceEvent",
     "Tracer",
     "bucket_mid",

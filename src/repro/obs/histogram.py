@@ -105,7 +105,8 @@ class HistogramSnapshot:
 
     For deltas produced by :meth:`since`, ``minimum``/``maximum`` are
     bucket-edge approximations — exact extrema of just the delta period are
-    not recoverable from bucket counts.
+    not recoverable from bucket counts — and ``extrema_exact`` is False so
+    :meth:`percentile` does not clamp to them.
     """
 
     count: int = 0
@@ -114,6 +115,9 @@ class HistogramSnapshot:
     buckets: dict[int, int] = field(default_factory=dict)
     minimum: float | None = None
     maximum: float | None = None
+    #: True when minimum/maximum are exact observed values (full-history
+    #: snapshots); False on phase deltas, where they are bucket edges.
+    extrema_exact: bool = True
 
     @property
     def mean(self) -> float:
@@ -135,10 +139,11 @@ class HistogramSnapshot:
             if seen >= rank:
                 value = bucket_mid(e)
                 break
-        if self.minimum is not None:
-            value = max(value, self.minimum)
-        if self.maximum is not None:
-            value = min(value, self.maximum)
+        if self.extrema_exact:
+            if self.minimum is not None:
+                value = max(value, self.minimum)
+            if self.maximum is not None:
+                value = min(value, self.maximum)
         return value
 
     def since(self, snap: "HistogramSnapshot | None") -> "HistogramSnapshot":
@@ -168,6 +173,7 @@ class HistogramSnapshot:
             buckets=buckets,
             minimum=lo,
             maximum=hi,
+            extrema_exact=False,
         )
 
     def summary(self) -> dict[str, float]:

@@ -123,6 +123,10 @@ class MetricsSnapshot:
     def histogram(self, name: str) -> HistogramSnapshot:
         return self.histograms.get(name, _EMPTY_HISTOGRAM)
 
+    def histogram_names(self) -> list[str]:
+        """Sorted names of every histogram captured in this snapshot."""
+        return sorted(self.histograms)
+
     def percentile(self, name: str, p: float) -> float:
         """Convenience: p-th percentile of histogram ``name``."""
         return self.histogram(name).percentile(p)

@@ -47,3 +47,46 @@ class TestFigureCommands:
         out = capsys.readouterr().out
         assert "postmark" in out
         assert "make-clean" in out
+
+
+class TestInspectCommand:
+    def test_inspect_fig6a_smoke(self, capsys):
+        assert main(["inspect", "fig6a", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "LayoutReport" in out
+        assert "interleave-factor" in out
+        assert "fragmentation-degree" in out
+        assert "free space" in out
+        assert "seek-cost" in out
+        assert "block map" in out
+
+    def test_inspect_tag_filter_and_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "layout.json"
+        assert (
+            main(
+                [
+                    "inspect", "fig6a", "--scale", "smoke",
+                    "--tag", "static:n32", "--json", str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "static:n32" in out
+        assert "reservation:n32" not in out
+        doc = json.loads(out_path.read_text())
+        assert set(doc) == {"static:n32"}
+
+    def test_inspect_unknown_tag_errors(self, capsys):
+        assert (
+            main(["inspect", "fig6a", "--scale", "smoke", "--tag", "zzz"]) == 1
+        )
+        assert "no capture tag" in capsys.readouterr().err
+
+    def test_inspect_mds_runner(self, capsys):
+        assert main(["inspect", "fig8", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "mds" in out
+        assert "directories:" in out

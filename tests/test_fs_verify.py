@@ -92,3 +92,67 @@ class TestMdsFsck:
         d.fill[0] += 1  # corrupt the occupancy counter
         report = check_mds(fs.mds)
         assert any("fill says" in e for e in report.errors)
+
+
+class TestFindingCodes:
+    """Each corruption class maps to a stable machine-readable code — the
+    contract the layout inspector's invariant assumptions rest on."""
+
+    def test_double_allocated_block_code(self):
+        plane = DataPlane(small_config(policy="vanilla"))
+        a = plane.create_file("/a")
+        plane.write(a, 1, 0, 64 * KiB)
+        b = plane.create_file("/b")
+        ext = a.maps[0].extents()[0]
+        b.maps[0].insert(Extent(0, ext.physical, ext.length))
+        report = check_dataplane(plane)
+        assert report.has("double-owned-block")
+        assert "double-owned-block" in report.codes
+
+    def test_dangling_extent_outside_array_code(self):
+        plane = DataPlane(small_config(policy="vanilla"))
+        a = plane.create_file("/a")
+        plane.write(a, 1, 0, 64 * KiB)
+        # Corrupt: extent pointing past the end of the disk array.
+        a.maps[0].insert(Extent(10_000, plane.fsm.total_blocks + 64, 8))
+        report = check_dataplane(plane, strict_accounting=False)
+        assert report.has("extent-outside-array")
+
+    def test_extent_maps_free_blocks_code(self):
+        plane = DataPlane(small_config(policy="vanilla"))
+        a = plane.create_file("/a")
+        plane.write(a, 1, 0, 64 * KiB)
+        ext = a.maps[0].extents()[0]
+        plane.fsm.free(ext.physical, ext.length)
+        report = check_dataplane(plane, strict_accounting=False)
+        assert report.has("extent-maps-free")
+
+    def test_orphan_embedded_inode_code(self):
+        fs = RedbudFileSystem(small_config(layout="embedded"))
+        fs.mkdir("/d")
+        fs.create("/d/f")
+        layout = fs.mds.layout
+        (ino,) = [
+            i for i, inode in layout._inodes.items() if inode.name == "f"
+        ]
+        # Corrupt: home block relocated outside every directory's content.
+        layout._inodes[ino].home_block = 10**9
+        report = check_mds(fs.mds)
+        assert report.has("orphan-home-block")
+
+    def test_dangling_inode_code_embedded(self):
+        fs = RedbudFileSystem(small_config(layout="embedded"))
+        fs.mkdir("/d")
+        inode = fs.mds.create(fs.dir_handle("/d"), "f")
+        del fs.mds.layout._inodes[inode.ino]
+        report = check_mds(fs.mds)
+        assert report.has("dangling-inode")
+
+    def test_clean_report_has_no_codes(self):
+        plane = DataPlane(small_config(policy="ondemand"))
+        a = plane.create_file("/a")
+        plane.write(a, 1, 0, 64 * KiB)
+        plane.fsync(a)
+        report = check_dataplane(plane)
+        assert report.codes == set()
+        assert report.clean

@@ -1,0 +1,172 @@
+"""LayoutInspector: fragmentation metrics over data and metadata planes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fs.dataplane import DataPlane
+from repro.fs.redbud import RedbudFileSystem
+from repro.obs.layout import LAYOUT_SCHEMA_VERSION, LayoutInspector, block_heatmap
+from repro.units import KiB, MiB
+from repro.workloads.streams import SharedFileMicrobench
+
+from tests.conftest import small_config
+
+
+def _written_plane(policy: str, nstreams: int = 8, file_mib: int = 8):
+    plane = DataPlane(small_config(policy=policy))
+    bench = SharedFileMicrobench(
+        nstreams=nstreams,
+        file_bytes=file_mib * MiB,
+        write_request_bytes=16 * KiB,
+    )
+    f = bench.create_shared_file(plane)
+    bench.phase1_write(plane, f)
+    plane.close_file(f)
+    return plane, bench
+
+
+class TestDataplaneInspection:
+    def test_static_policy_is_perfectly_contiguous(self):
+        plane, bench = _written_plane("static")
+        report = LayoutInspector(region_bytes=bench.region_bytes).inspect_dataplane(
+            plane, label="static"
+        )
+        (fl,) = report.files
+        assert fl.interleave_factor == pytest.approx(1.0)
+        assert fl.contiguity == pytest.approx(1.0)
+        assert fl.seek_cost_s == pytest.approx(0.0)
+        assert fl.seeks == 0
+
+    def test_interleaved_policies_rank_as_the_paper_says(self):
+        """reservation interleaves worst, ondemand mitigates, static wins."""
+        metrics = {}
+        for policy in ("reservation", "ondemand", "static"):
+            plane, bench = _written_plane(policy)
+            report = LayoutInspector(
+                region_bytes=bench.region_bytes
+            ).inspect_dataplane(plane, label=policy)
+            metrics[policy] = report
+        assert (
+            metrics["reservation"].interleave_factor
+            > metrics["ondemand"].interleave_factor
+            > metrics["static"].interleave_factor
+        )
+        assert (
+            metrics["reservation"].total_extents
+            > metrics["ondemand"].total_extents
+            > metrics["static"].total_extents
+        )
+        assert (
+            metrics["reservation"].seek_cost_s
+            > metrics["ondemand"].seek_cost_s
+            >= metrics["static"].seek_cost_s
+        )
+
+    def test_free_space_stats_account_for_every_block(self):
+        plane, _ = _written_plane("ondemand")
+        stats = LayoutInspector().free_space_stats(plane.fsm)
+        assert stats.total_blocks == plane.fsm.total_blocks
+        assert stats.free_blocks == plane.fsm.free_blocks
+        assert stats.runs == sum(stats.run_hist.values())
+        assert 0 < stats.largest_run <= stats.free_blocks
+        assert stats.mean_run == pytest.approx(stats.free_blocks / stats.runs)
+
+    def test_heatmap_shows_occupied_groups(self):
+        plane, _ = _written_plane("ondemand")
+        art = block_heatmap(plane.fsm)
+        assert "pag" in art and "|" in art
+        # Every written plane has at least one occupied group row.
+        assert any(line.startswith("pag") for line in art.splitlines())
+
+    def test_heatmap_rejects_nonpositive_width(self):
+        plane, _ = _written_plane("ondemand")
+        with pytest.raises(ValueError):
+            block_heatmap(plane.fsm, width=0)
+
+    def test_region_boundaries_define_interleave(self):
+        """With one region per stream the interleave factor counts how many
+        physically-contiguous chunks each stream's region splits into."""
+        plane, bench = _written_plane("reservation")
+        coarse = LayoutInspector(region_bytes=bench.file_bytes).inspect_dataplane(
+            plane
+        )
+        fine = LayoutInspector(region_bytes=bench.region_bytes).inspect_dataplane(
+            plane
+        )
+        # One giant region can only look worse-or-equal per region than many.
+        assert fine.files[0].regions > coarse.files[0].regions
+        assert fine.interleave_factor >= 1.0
+        assert coarse.interleave_factor >= 1.0
+
+
+class TestSerialization:
+    def test_to_dict_is_json_able_and_versioned(self):
+        plane, bench = _written_plane("ondemand")
+        report = LayoutInspector(region_bytes=bench.region_bytes).inspect_dataplane(
+            plane, label="x"
+        )
+        doc = report.to_dict()
+        assert doc["schema_version"] == LAYOUT_SCHEMA_VERSION
+        assert doc["source"] == "dataplane"
+        encoded = json.dumps(doc, sort_keys=True)
+        assert json.loads(encoded) == doc
+
+    def test_format_mentions_all_headline_metrics(self):
+        plane, bench = _written_plane("reservation")
+        report = LayoutInspector(region_bytes=bench.region_bytes).inspect_dataplane(
+            plane, label="res"
+        )
+        text = report.format()
+        for needle in (
+            "interleave-factor",
+            "fragmentation-degree",
+            "free space",
+            "seek-cost",
+            "block map",
+        ):
+            assert needle in text, needle
+
+
+class TestMdsInspection:
+    def test_embedded_directory_stats(self):
+        fs = RedbudFileSystem(small_config(layout="embedded"))
+        fs.mkdir("/d")
+        for i in range(40):
+            fs.create(f"/d/f{i}")
+            fs.write(f"/d/f{i}", 0, 16 * KiB)
+        report = LayoutInspector().inspect_mds(fs.mds, label="embedded")
+        assert report.source == "mds"
+        d = report.directories
+        assert d is not None
+        assert d.files >= 40
+        assert d.directories >= 1
+        assert d.mean_degree >= 0.0
+        assert report.fragmentation_degree == pytest.approx(d.mean_degree)
+
+    def test_normal_directory_stats(self):
+        fs = RedbudFileSystem(small_config(layout="normal"))
+        fs.mkdir("/d")
+        for i in range(20):
+            fs.create(f"/d/f{i}")
+        report = LayoutInspector().inspect_mds(fs.mds, label="normal")
+        assert report.directories is not None
+        assert report.directories.files >= 20
+
+
+class TestRunResultIntegration:
+    def test_fig6a_attaches_layout_captures(self):
+        from repro.core.run import run
+
+        result = run(
+            "fig6a", scale=0.05, seed=0, stream_counts=(8,),
+            policies=("reservation", "static"),
+        )
+        assert set(result.layouts) == {"reservation:n8", "static:n8"}
+        res = result.layout("reservation:n8")
+        stat = result.layout("static:n8")
+        assert res.interleave_factor > stat.interleave_factor
+        with pytest.raises(KeyError):
+            result.layout("nope")

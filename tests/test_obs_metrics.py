@@ -77,6 +77,41 @@ class TestHistogram:
         h.reset()
         assert h.count == 0 and h.snapshot().count == 0
 
+    def test_exact_snapshot_clamps_to_observed_extrema(self):
+        h = Histogram()
+        h.observe(65.0)  # bucket [64, 128), midpoint 96
+        s = h.snapshot()
+        assert s.extrema_exact
+        assert s.percentile(99) == 65.0  # clamped to the exact maximum
+
+    def test_delta_snapshot_skips_extrema_clamp(self):
+        """Phase deltas carry bucket-edge extrema approximations; the
+        percentile must report the honest bucket midpoint, not a value
+        clamped to those synthetic edges."""
+        h = Histogram()
+        for _ in range(10):
+            h.observe(1.0)
+        snap = h.snapshot()
+        h.observe(65.0)  # phase 2: one slow sample
+        delta = h.snapshot().since(snap)
+        assert not delta.extrema_exact
+        assert delta.minimum == 64.0 and delta.maximum == 128.0  # bucket edges
+        assert delta.percentile(99) == bucket_mid(bucket_of(65.0))  # == 96.0
+
+    def test_phase_delta_p99_via_metrics(self):
+        """Regression: a phase-diffed p99 through Metrics.since must be the
+        unclamped bucket representative of the phase's own samples."""
+        m = Metrics()
+        for _ in range(50):
+            m.observe("lat", 0.001)
+        snap = m.snapshot()
+        for _ in range(20):
+            m.observe("lat", 3.0)  # bucket [2, 4), midpoint 3.0
+        h = m.since(snap).histogram("lat")
+        assert h.count == 20
+        assert not h.extrema_exact
+        assert h.percentile(99) == bucket_mid(bucket_of(3.0))
+
     def test_bucket_helpers_bracket_values(self):
         for v in (0.001, 0.5, 1.0, 3.0, 1000.0):
             e = bucket_of(v)

@@ -100,9 +100,16 @@ class TestVisual:
 
 
 class TestCli:
-    def test_no_command_shows_help(self, capsys):
+    def test_no_command_shows_help_on_stderr(self, capsys):
         assert main([]) == 2
-        assert "usage" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "usage" in captured.err
+        assert captured.out == ""
+
+    def test_list_runners(self, capsys):
+        assert main(["--list"]) == 0
+        listed = capsys.readouterr().out.split()
+        assert "fig6a" in listed and "table1" in listed
 
     def test_info(self, capsys):
         assert main(["info"]) == 0
