@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 from repro.block.freespace import FreeSpaceManager
 from repro.config import AllocPolicyParams
-from repro.errors import AllocationError
+from repro.errors import AllocationError, NoSpaceError
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.sim.metrics import Metrics
 
@@ -128,15 +128,25 @@ class AllocationPolicy(abc.ABC):
         self, target: AllocTarget, hint: int | None, count: int
     ) -> list[tuple[int, int]]:
         """Contiguous-best-effort allocation of exactly ``count`` blocks,
-        possibly as several runs.  Used as every policy's fallback path."""
+        possibly as several runs.  Used as every policy's fallback path.
+
+        Atomic: either the full count is allocated or, on
+        :class:`~repro.errors.NoSpaceError`, every partial run is returned
+        to free space before the error propagates.
+        """
         runs: list[tuple[int, int]] = []
         remaining = count
         next_hint = hint
-        while remaining > 0:
-            start, got = self.fsm.allocate_in_group(
-                target.group_index, remaining, hint=next_hint, minimum=1
-            )
-            runs.append((start, got))
-            remaining -= got
-            next_hint = start + got
+        try:
+            while remaining > 0:
+                start, got = self.fsm.allocate_in_group(
+                    target.group_index, remaining, hint=next_hint, minimum=1
+                )
+                runs.append((start, got))
+                remaining -= got
+                next_hint = start + got
+        except NoSpaceError:
+            for start, got in runs:
+                self.fsm.free(start, got)
+            raise
         return runs

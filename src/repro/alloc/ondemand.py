@@ -75,6 +75,30 @@ class OnDemandPolicy(AllocationPolicy):
             self._states[key] = st
 
         runs: list[PhysicalRun] = []
+        try:
+            self._allocate_loop(key, st, target, dlocal, count, runs)
+        except NoSpaceError:
+            # Basic exception guarantee: blocks handed out earlier in this
+            # call are returned to free space so the caller (which maps no
+            # extents on failure) leaks nothing and the books stay balanced.
+            for run in runs:
+                self.fsm.free(run.physical, run.length)
+            if runs:
+                self.metrics.incr(
+                    "alloc.enospc_rolled_back_blocks", sum(r.length for r in runs)
+                )
+            raise
+        return runs
+
+    def _allocate_loop(
+        self,
+        key: tuple[int, int, int],
+        st: StreamState,
+        target: AllocTarget,
+        dlocal: int,
+        count: int,
+        runs: list[PhysicalRun],
+    ) -> None:
         cursor = dlocal
         remaining = count
         while remaining > 0:
@@ -102,8 +126,8 @@ class OnDemandPolicy(AllocationPolicy):
                     self.tracer.emit(
                         "alloc",
                         "pre_alloc_layout",
-                        stream=stream_id,
-                        file=file_id,
+                        stream=key[1],
+                        file=key[0],
                         group=target.group_index,
                         dlocal=cursor,
                         window=sw.length,
@@ -116,8 +140,8 @@ class OnDemandPolicy(AllocationPolicy):
                     self.tracer.emit(
                         "alloc",
                         "layout_miss",
-                        stream=stream_id,
-                        file=file_id,
+                        stream=key[1],
+                        file=key[0],
                         group=target.group_index,
                         dlocal=cursor,
                         misses=st.misses,
@@ -125,7 +149,6 @@ class OnDemandPolicy(AllocationPolicy):
                 took = self._miss(key, st, target, cursor, remaining, runs)
                 cursor += took
                 remaining -= took
-        return runs
 
     def release(self, file_id: int) -> int:
         """Release temporary sequential windows (and unconsumed current-
@@ -155,13 +178,27 @@ class OnDemandPolicy(AllocationPolicy):
         runs: list[PhysicalRun],
     ) -> int:
         """Handle layout_miss at ``dlocal``; appends runs for ``count``
-        blocks and (re)establishes windows.  Returns blocks covered."""
+        blocks and (re)establishes windows.  Returns blocks covered.
+
+        Exception-safe: stale windows are dropped up front (a consistent
+        state either way — their blocks go back to free space), but the
+        miss count, random classification and ``runs`` are only touched
+        after :meth:`_plain_allocate` succeeds, so an out-of-space error
+        leaves no partially-applied stream state behind.
+        """
         first_extend = st.current is None and st.sequential is None and st.misses == 0
-        if not first_extend:
-            st.misses += 1
-        # Stale windows are abandoned: unconsumed blocks go back to free space.
+        # Stale windows are abandoned: unconsumed blocks go back to free
+        # space (before allocating, so the miss can reuse them).
         self._drop_windows(st)
 
+        # Allocate the written blocks themselves (contiguous best effort),
+        # chaining after the stream's previous allocation when it has one.
+        # _plain_allocate is atomic: on NoSpaceError nothing was kept, and
+        # nothing below this line has run.
+        allocated = self._plain_allocate(target, st.last_end, count)
+
+        if not first_extend:
+            st.misses += 1
         if st.misses >= self.params.miss_threshold:
             # §III.B: workload recognized as random; preallocation off.
             if st.prealloc_on:
@@ -177,11 +214,9 @@ class OnDemandPolicy(AllocationPolicy):
                         misses=st.misses,
                     )
 
-        # Allocate the written blocks themselves (contiguous best effort),
-        # chaining after the stream's previous allocation when it has one.
         cursor = dlocal
         last_end: int | None = None
-        for start, got in self._plain_allocate(target, st.last_end, count):
+        for start, got in allocated:
             runs.append(PhysicalRun(dlocal=cursor, physical=start, length=got))
             cursor += got
             last_end = start + got

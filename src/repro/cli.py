@@ -234,6 +234,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_fsck)
 
+    p = sub.add_parser(
+        "faults",
+        help="seeded fault campaign: crash/recover the MDS, scrub latent "
+        "sector errors, corrupt both planes and fsck-repair to clean",
+    )
+    p.add_argument("--scale", type=_scale, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_faults)
+
     p = sub.add_parser("info", help="show the three system profiles")
     p.set_defaults(func=cmd_info)
     return parser
@@ -643,6 +652,44 @@ def cmd_fsck(args) -> int:
     for err in data.errors + meta.errors:
         print(f"  ! {err}")
     return 0 if data.clean and meta.clean else 1
+
+
+def _print_repair(label: str, repair) -> None:
+    before, after = repair.before, repair.after
+    print(f"{label}: {len(before.findings)} finding(s) before repair")
+    for f in before.findings:
+        print(f"  ! [{f.code}] {f.message}")
+    for act in repair.actions:
+        print(f"  ~ [{act.code}] {act.message}")
+    state = "clean" if after.clean else f"{len(after.findings)} finding(s) LEFT"
+    print(f"{label}: {state} after {repair.passes} repair pass(es)")
+    for f in after.findings:
+        print(f"  ! [{f.code}] {f.message}")
+
+
+def cmd_faults(args) -> int:
+    result = run_experiment("faults", scale=args.scale, seed=args.seed).payload
+    print(f"fault campaign (seed={result.seed})")
+    print(
+        f"  injected: {result.injected_lse} latent sector error(s), "
+        f"{result.injected_torn} torn write(s), "
+        f"{result.injected_crashes} crash(es), "
+        f"{len(result.corruptions)} structural corruption(s)"
+    )
+    if result.crash_after_requests is not None:
+        print(
+            f"  crash point: after {result.crash_after_requests} MDS disk "
+            f"request(s); journal replayed {result.replayed_records} "
+            f"record(s), discarded {result.discarded_records} uncommitted"
+        )
+    print(f"  scrub: {result.scrub_healed} sector(s) healed by rewrite")
+    if result.corruptions:
+        print(f"  corruptions: {', '.join(result.corruptions)}")
+    print()
+    _print_repair("data plane", result.plane_repair)
+    print()
+    _print_repair("metadata", result.mds_repair)
+    return 0 if result.clean_after else 1
 
 
 def cmd_info(args) -> int:

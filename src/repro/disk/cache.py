@@ -67,9 +67,21 @@ class BufferCache:
             self.metrics.incr("cache.evictions")
 
     def invalidate(self, start: int, nblocks: int) -> None:
-        """Drop blocks from the cache (e.g. after a free)."""
+        """Drop blocks from the cache (e.g. after a free).
+
+        Readahead contexts whose frontiers point into (or just past) the
+        invalidated region are dropped too: the blocks they predicted were
+        freed, and a reallocated run must not inherit a stale window.
+        """
         for b in range(start, start + nblocks):
             self._lru.pop(b, None)
+        slack = 2 * self.params.readahead_max_blocks
+        end = start + nblocks
+        stale = [k for k in self._ra if k >= start and k - slack < end]
+        for k in stale:
+            del self._ra[k]
+        if stale:
+            self.metrics.incr("cache.ra_invalidated", len(stale))
 
     def drop(self) -> None:
         """Empty the cache and reset readahead (echo 3 > drop_caches)."""
@@ -124,6 +136,7 @@ class BufferCache:
         # Collect the miss runs within [start, start+nblocks+prefetch).
         want = nblocks + prefetch
         misses: list[BlockRequest] = []
+        requested_miss = False
         run_start = -1
         for b in range(start, start + want):
             if b >= self.disk.capacity_blocks:
@@ -137,6 +150,7 @@ class BufferCache:
             else:
                 if b < start + nblocks:
                     self.metrics.incr("cache.misses")
+                    requested_miss = True
                 if run_start < 0:
                     run_start = b
         if run_start >= 0:
@@ -150,6 +164,22 @@ class BufferCache:
         elapsed = self.disk.submit_batch(misses)
         for req in misses:
             self._insert(req.start, req.nblocks)
+        if not requested_miss:
+            # Every requested block was resident; the batch only serviced
+            # readahead beyond the request.  Prefetch is opportunistic — its
+            # disk time is accounted to the disk, never to the requester.
+            self.metrics.incr("cache.prefetch_only_reads")
+            self.metrics.add("cache.unbilled_prefetch_s", elapsed)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "cache",
+                    "prefetch",
+                    dur=elapsed,
+                    start=start,
+                    nblocks=nblocks,
+                    prefetch=prefetch,
+                )
+            return 0.0
         if self.tracer.enabled:
             self.tracer.emit(
                 "cache",

@@ -41,6 +41,10 @@ class SimulatedDisk:
         )
         self._head = 0
         self._busy_s = 0.0
+        self._partial_s = 0.0
+        #: Optional fault injector (see :mod:`repro.fault`); None when the
+        #: disk runs clean.
+        self.injector = None
 
     # -- properties ---------------------------------------------------------
     @property
@@ -56,6 +60,20 @@ class SimulatedDisk:
     @property
     def capacity_blocks(self) -> int:
         return self.params.capacity_blocks
+
+    @property
+    def torn_writes(self) -> int:
+        """Torn writes injected so far (0 without an injector)."""
+        return 0 if self.injector is None else self.injector.torn_writes
+
+    def attach_injector(self, injector) -> None:
+        """Install a :class:`~repro.fault.injector.FaultInjector` beneath
+        the request loop, wired into this disk's metrics and tracer."""
+        injector.bind(self.metrics, self.tracer, self.name)
+        self.injector = injector
+
+    def detach_injector(self) -> None:
+        self.injector = None
 
     # -- operation ----------------------------------------------------------
     def submit_batch(self, requests: Sequence[BlockRequest]) -> float:
@@ -75,7 +93,21 @@ class SimulatedDisk:
                 )
         total = 0.0
         tracer = self.tracer
-        for req in self.scheduler.arrange(requests):
+        try:
+            total = self._service(self.scheduler.arrange(requests), tracer)
+        finally:
+            # A mid-batch fault still pays for the requests serviced before
+            # it fired; _service returns via its partial-total attribute.
+            self._busy_s += self._partial_s
+            self._partial_s = 0.0
+        return total
+
+    def _service(self, arranged, tracer: Tracer | NullTracer) -> float:
+        total = 0.0
+        self._partial_s = 0.0
+        for req in arranged:
+            if self.injector is not None:
+                req = self.injector.filter(req)
             positioning = self.model.positioning_time(self._head, req.start)
             transfer = self.model.transfer_time(req.nblocks)
             if tracer.enabled:
@@ -91,6 +123,7 @@ class SimulatedDisk:
                     transfer_s=transfer,
                 )
             total += positioning + transfer
+            self._partial_s = total
             self._head = req.end
             self.metrics.observe("disk.request_latency_s", positioning + transfer)
             self.metrics.observe("disk.request_blocks", req.nblocks)
@@ -106,7 +139,6 @@ class SimulatedDisk:
             else:
                 self.metrics.incr("disk.read_requests")
                 self.metrics.incr("disk.read_blocks", req.nblocks)
-        self._busy_s += total
         return total
 
     def submit(self, request: BlockRequest) -> float:

@@ -59,3 +59,15 @@ class InodeError(MetadataError):
 
 class SimulationError(ReproError):
     """The simulation engine reached an inconsistent state."""
+
+
+class FaultError(ReproError):
+    """Base class for injected faults (the fault layer, not real bugs)."""
+
+
+class LatentSectorError(FaultError):
+    """A read touched a latent sector error (EIO until overwritten)."""
+
+
+class CrashError(FaultError):
+    """The simulated node crashed at an injected crash point."""

@@ -1,0 +1,15 @@
+"""Deterministic fault injection for the simulated file system.
+
+The fault layer sits beneath :meth:`SimulatedDisk.submit_batch` and turns a
+seeded :class:`~repro.fault.plan.FaultPlan` into latent sector errors, torn
+multi-block writes and crash points.  A separate structure-level
+:class:`~repro.fault.corrupt.Corruptor` damages file-system state directly
+(CrashMonkey / fsck-fuzzing style) to exercise the repair routines in
+:mod:`repro.fs.verify`.
+"""
+
+from repro.fault.corrupt import Corruptor
+from repro.fault.injector import FaultInjector
+from repro.fault.plan import FaultPlan
+
+__all__ = ["Corruptor", "FaultInjector", "FaultPlan"]

@@ -1,0 +1,89 @@
+"""Seeded fault plans.
+
+A :class:`FaultPlan` is an immutable description of every fault a campaign
+will inject, derived deterministically from one integer seed via
+:func:`repro.rng.derive_rng` — the same seed always produces the same
+latent sector errors, the same torn-write cadence and the same crash point,
+so falsifying runs replay exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.rng import derive_rng
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """Everything a :class:`~repro.fault.injector.FaultInjector` will do.
+
+    ``lse_ranges`` are (start, nblocks) runs that raise
+    :class:`~repro.errors.LatentSectorError` on read until overwritten.
+    ``torn_every`` tears every Nth multi-block write (a 1..n-1 block prefix
+    persists; single-block writes are atomic); 0 disables tearing.
+    ``crash_after_requests`` raises :class:`~repro.errors.CrashError` once
+    that many disk requests have been serviced; ``None`` disables crashes.
+    """
+
+    seed: int
+    lse_ranges: tuple[tuple[int, int], ...] = ()
+    torn_every: int = 0
+    crash_after_requests: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.torn_every < 0:
+            raise ConfigError(f"torn_every must be >= 0: {self.torn_every}")
+        if self.crash_after_requests is not None and self.crash_after_requests < 0:
+            raise ConfigError(
+                f"crash_after_requests must be >= 0: {self.crash_after_requests}"
+            )
+        for start, count in self.lse_ranges:
+            if start < 0 or count <= 0:
+                raise ConfigError(f"invalid LSE range ({start}, {count})")
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        capacity_blocks: int,
+        *,
+        lse_count: int = 4,
+        lse_max_blocks: int = 2,
+        torn_every: int = 5,
+        crash_window: tuple[int, int] | None = (10, 60),
+    ) -> "FaultPlan":
+        """Draw a plan from ``seed`` for a disk of ``capacity_blocks``.
+
+        ``crash_window`` bounds the crash point (requests serviced before
+        the crash fires) as a half-open [lo, hi) interval; ``None``
+        disables crashing (pure LSE/torn campaigns).
+        """
+        if capacity_blocks <= 0:
+            raise ConfigError(f"capacity_blocks must be positive: {capacity_blocks}")
+        rng = derive_rng(seed, "fault", "plan")
+        ranges: list[tuple[int, int]] = []
+        for _ in range(lse_count):
+            start = int(rng.integers(0, capacity_blocks))
+            count = int(rng.integers(1, lse_max_blocks + 1))
+            ranges.append((start, min(count, capacity_blocks - start) or 1))
+        crash_after: int | None = None
+        if crash_window is not None:
+            lo, hi = crash_window
+            if not (0 <= lo < hi):
+                raise ConfigError(f"invalid crash window [{lo}, {hi})")
+            crash_after = int(rng.integers(lo, hi))
+        return cls(
+            seed=seed,
+            lse_ranges=tuple(ranges),
+            torn_every=torn_every,
+            crash_after_requests=crash_after,
+        )
+
+    def lse_blocks(self) -> set[int]:
+        """Flatten the LSE ranges to a block set."""
+        bad: set[int] = set()
+        for start, count in self.lse_ranges:
+            bad.update(range(start, start + count))
+        return bad

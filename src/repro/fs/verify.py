@@ -12,14 +12,18 @@ Validates the cross-layer invariants the allocator work depends on:
 
 Tests and long-running experiments call :func:`check_dataplane` /
 :func:`check_mds` after churn to catch leaks and double allocations early.
+:func:`repair_dataplane` / :func:`repair_mds` consume the same finding
+codes and fix them, re-running the checker until it converges.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import MetadataError
 from repro.fs.dataplane import DataPlane
-from repro.meta.embedded_layout import EmbeddedLayout
+from repro.meta.embedded_layout import EmbeddedDir, EmbeddedLayout
+from repro.meta.inumber import decode_ino
 from repro.meta.mds import MetadataServer
 from repro.meta.normal_layout import NormalLayout
 
@@ -67,6 +71,30 @@ class FsckReport:
                 f"fsck found {len(self.findings)} problems:\n"
                 + "\n".join(f"[{f.code}] {f.message}" for f in self.findings)
             )
+
+
+@dataclass(frozen=True)
+class RepairAction:
+    """One fix applied by a repair pass, tagged with the finding code it
+    addressed."""
+
+    code: str
+    message: str
+
+
+@dataclass
+class RepairResult:
+    """Outcome of an iterative repair: the reports bracketing it, every
+    action taken, and whether re-checking converged to clean."""
+
+    before: FsckReport
+    after: FsckReport
+    actions: list[RepairAction] = field(default_factory=list)
+    passes: int = 0
+
+    @property
+    def converged(self) -> bool:
+        return self.after.clean
 
 
 def check_dataplane(plane: DataPlane, strict_accounting: bool = True) -> FsckReport:
@@ -184,6 +212,249 @@ def _check_embedded(layout: EmbeddedLayout, report: FsckReport) -> None:
             report.error(f"directory table cannot resolve dir {d.dir_id}",
                 code="gdt-unresolvable",
             )
+
+
+def repair_dataplane(plane: DataPlane, max_passes: int = 4) -> RepairResult:
+    """Fix data-plane findings; iterates check→repair until clean.
+
+    Strategy mirrors the checker: structurally invalid maps are dropped;
+    extents outside the array, crossing or landing in the wrong PAG are
+    unmapped (their blocks freed when no other extent owns them); later
+    claimants of double-owned blocks lose them; extents mapping free blocks
+    re-claim them with ``allocate_exact``.
+    """
+    before = check_dataplane(plane)
+    result = RepairResult(before=before, after=before)
+    report = before
+    while not report.clean and result.passes < max_passes:
+        changed = _repair_dataplane_pass(plane, result.actions)
+        result.passes += 1
+        report = check_dataplane(plane)
+        if not changed:
+            break
+    result.after = report
+    return result
+
+
+def _repair_dataplane_pass(plane: DataPlane, actions: list[RepairAction]) -> bool:
+    changed = False
+    owner: dict[int, str] = {}
+    for f in plane.files():
+        for slot, smap in enumerate(f.maps):
+            try:
+                smap.validate()
+            except Exception as exc:
+                smap.clear()
+                actions.append(RepairAction(
+                    "extent-map-invalid",
+                    f"{f.name} slot {slot}: dropped invalid extent map ({exc})",
+                ))
+                changed = True
+                continue
+            for ext in list(smap):
+                try:
+                    group = plane.fsm.group_of(ext.physical)
+                except Exception:
+                    smap.remove_range(ext.logical, ext.length)
+                    actions.append(RepairAction(
+                        "extent-outside-array",
+                        f"{f.name} slot {slot}: unmapped {ext} (outside array)",
+                    ))
+                    changed = True
+                    continue
+                misplaced = (
+                    ext.physical_end > group.end or group.index != f.layout[slot]
+                )
+                duplicated = any(
+                    b in owner for b in range(ext.physical, ext.physical_end)
+                )
+                if misplaced or duplicated:
+                    smap.remove_range(ext.logical, ext.length)
+                    # Blocks nobody else owns go back to free space; blocks
+                    # the first claimant keeps are left allocated.
+                    for b in range(ext.physical, ext.physical_end):
+                        if b in owner:
+                            continue
+                        try:
+                            if not plane.fsm.group_of(b).free.is_free(b, 1):
+                                plane.fsm.free(b, 1)
+                        except Exception:
+                            continue
+                    code = "double-owned-block" if duplicated else "extent-wrong-pag"
+                    actions.append(RepairAction(
+                        code, f"{f.name} slot {slot}: unmapped {ext}"
+                    ))
+                    changed = True
+                    continue
+                reclaimed = 0
+                for b in range(ext.physical, ext.physical_end):
+                    owner[b] = f"{f.name}#{slot}"
+                    if plane.fsm.group_of(b).free.is_free(b, 1):
+                        plane.fsm.allocate_exact(b, 1)
+                        reclaimed += 1
+                if reclaimed:
+                    actions.append(RepairAction(
+                        "extent-maps-free",
+                        f"{f.name} slot {slot}: re-claimed {reclaimed} blocks of {ext}",
+                    ))
+                    changed = True
+    return changed
+
+
+def repair_mds(mds: MetadataServer, max_passes: int = 4) -> RepairResult:
+    """Fix metadata-plane findings; iterates check→repair until clean."""
+    before = check_mds(mds)
+    result = RepairResult(before=before, after=before)
+    report = before
+    layout = mds.layout
+    while not report.clean and result.passes < max_passes:
+        if isinstance(layout, EmbeddedLayout):
+            changed = _repair_embedded_pass(layout, result.actions)
+        elif isinstance(layout, NormalLayout):
+            changed = _repair_normal_pass(layout, result.actions)
+        else:  # pragma: no cover - exhaustive over shipped layouts
+            changed = False
+        result.passes += 1
+        report = check_mds(mds)
+        if not changed:
+            break
+    result.after = report
+    return result
+
+
+def _embedded_home_of(layout: EmbeddedLayout, d: EmbeddedDir, offset: int) -> int:
+    """Authoritative home block for slot ``offset`` of ``d``, extending the
+    directory content when the slot lies beyond it (lost-extension repair)."""
+    try:
+        return layout._block_of_offset(d, offset)
+    except MetadataError:
+        needed = offset // layout.slots_per_block + 1
+        while d.content_blocks < needed:
+            start, got, _ = layout.mfs.alloc_data(
+                d.group, needed - d.content_blocks, minimum=1
+            )
+            d.content_runs.append((start, got))
+        return layout._block_of_offset(d, offset)
+
+
+def _repair_embedded_pass(layout: EmbeddedLayout, actions: list[RepairAction]) -> bool:
+    changed = False
+    dirs = sorted(layout._dirs.values(), key=lambda d: d.dir_id)
+    # 1. Directory-table entries lost: the live directory object is the
+    #    authority, so restore its mapping.
+    for d in dirs:
+        if d.dir_id not in layout.gdt:
+            layout.gdt.restore(d.dir_id, d.ino)
+            actions.append(RepairAction(
+                "gdt-unresolvable", f"restored table entry for dir {d.dir_id}"
+            ))
+            changed = True
+    # 2. Overlapping content runs: the first claimant (lowest dir_id) keeps
+    #    the blocks; later overlapping runs are dropped, and any inodes they
+    #    homed are re-homed by step 3 on the next pass.
+    content_owner: set[int] = set()
+    for d in dirs:
+        kept: list[tuple[int, int]] = []
+        for start, count in d.content_runs:
+            if any(b in content_owner for b in range(start, start + count)):
+                actions.append(RepairAction(
+                    "content-block-overlap",
+                    f"dir {d.dir_id}: dropped overlapping content run "
+                    f"({start}, {count})",
+                ))
+                changed = True
+                continue
+            content_owner.update(range(start, start + count))
+            kept.append((start, count))
+        d.content_runs = kept
+    # 3. Per-entry inode state.
+    for d in dirs:
+        for name, ino in list(d.entries.items()):
+            inode = layout._inodes.get(ino)
+            if inode is None:
+                del d.entries[name]
+                d.file_count = max(0, d.file_count - 1)
+                actions.append(RepairAction(
+                    "dangling-inode",
+                    f"dir {d.dir_id}: dropped entry {name!r} -> lost inode {ino}",
+                ))
+                changed = True
+                continue
+            if inode.name != name:
+                actions.append(RepairAction(
+                    "inode-name-mismatch",
+                    f"inode {ino}: reset name {inode.name!r} -> {name!r}",
+                ))
+                inode.name = name
+                changed = True
+            dir_id, offset = decode_ino(ino)
+            if dir_id != d.dir_id:
+                continue  # renamed-away id: home authority lies elsewhere
+            expected = _embedded_home_of(layout, d, offset)
+            if inode.home_block != expected:
+                actions.append(RepairAction(
+                    "orphan-home-block",
+                    f"inode {ino}: re-homed {inode.home_block} -> {expected}",
+                ))
+                inode.home_block = expected
+                inode.home_slot = offset % layout.slots_per_block
+                changed = True
+    return changed
+
+
+def _repair_normal_pass(layout: NormalLayout, actions: list[RepairAction]) -> bool:
+    changed = False
+    mfs = layout.mfs
+    for d in layout._dirs.values():
+        for name, ino in list(d.entries.items()):
+            inode = layout._inodes.get(ino)
+            if inode is None:
+                d.entry_block.pop(name, None)
+                del d.entries[name]
+                actions.append(RepairAction(
+                    "dangling-inode",
+                    f"dir {d.ino}: dropped entry {name!r} -> lost inode {ino}",
+                ))
+                changed = True
+                continue
+            expected = mfs.itable_block_of(ino)
+            if (inode.home_block, inode.home_slot) != expected:
+                actions.append(RepairAction(
+                    "inode-home-mismatch",
+                    f"inode {ino}: re-homed to itable "
+                    f"{expected[0]}/{expected[1]}",
+                ))
+                inode.home_block, inode.home_slot = expected
+                changed = True
+            if d.entry_block.get(name) not in d.dentry_blocks:
+                if not d.dentry_blocks:
+                    layout._add_dentry_block(d)
+                d.entry_block[name] = d.dentry_blocks[0]
+                actions.append(RepairAction(
+                    "entry-unknown-dentry-block",
+                    f"dir {d.ino}: re-pointed entry {name!r} at block "
+                    f"{d.dentry_blocks[0]}",
+                ))
+                changed = True
+        # Rebuild per-block fill counts from the entry→block map (the
+        # authoritative state after the fixes above).
+        if len(d.fill) != len(d.dentry_blocks):
+            d.fill = [0] * len(d.dentry_blocks)
+            actions.append(RepairAction(
+                "dentry-fill-mismatch", f"dir {d.ino}: resized fill vector"
+            ))
+            changed = True
+        index = {b: i for i, b in enumerate(d.dentry_blocks)}
+        counts = [0] * len(d.dentry_blocks)
+        for block in d.entry_block.values():
+            counts[index[block]] += 1
+        if counts != d.fill:
+            d.fill = counts
+            actions.append(RepairAction(
+                "entry-count-mismatch", f"dir {d.ino}: rebuilt fill counts"
+            ))
+            changed = True
+    return changed
 
 
 def _check_normal(layout: NormalLayout, report: FsckReport) -> None:

@@ -83,6 +83,15 @@ class GlobalDirectoryTable:
         if self._dir_ino.pop(dir_id, None) is None:
             raise InodeError(f"unknown directory identification: {dir_id}")
 
+    def restore(self, dir_id: int, dir_ino: int) -> None:
+        """Re-insert a mapping recovered by fsck repair (the live directory
+        object is the authority; the table entry was lost)."""
+        if not (0 <= dir_id <= MAX_DIR_ID):
+            raise InodeError(f"directory identification out of range: {dir_id}")
+        self._dir_ino[dir_id] = dir_ino
+        if dir_id >= self._next_dir_id:
+            self._next_dir_id = dir_id + 1
+
     def __contains__(self, dir_id: int) -> bool:
         return dir_id in self._dir_ino
 

@@ -10,12 +10,36 @@ blocks accumulate separately and are flushed by periodic checkpoints (see
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.disk.model import BlockRequest
 from repro.errors import MetadataError
 
 
+@dataclass
+class JournalRecord:
+    """One write-ahead record: which home blocks an operation dirties.
+
+    ``block`` is the journal block where the commit record starts.  A
+    record only becomes ``committed`` once its journal write reached the
+    platter intact; torn or crashed commit writes leave it uncommitted and
+    replay discards it (the operation never happened, durably).
+    """
+
+    seq: int
+    block: int
+    dirties: tuple[int, ...]
+    committed: bool = False
+
+
 class Journal:
-    """Circular append-only commit region on the MDS disk."""
+    """Circular append-only commit region on the MDS disk.
+
+    Two cooperating layers: :meth:`append` models the raw block traffic of
+    commit records (the request sequences benchmarks time), while
+    :meth:`log` / :meth:`commit` / :meth:`replay` implement write-ahead
+    semantics over it for crash recovery.
+    """
 
     def __init__(self, base_block: int, nblocks: int) -> None:
         if base_block < 0 or nblocks <= 0:
@@ -24,6 +48,8 @@ class Journal:
         self.nblocks = nblocks
         self._head = 0
         self.records_written = 0
+        self._records: list[JournalRecord] = []
+        self._seq = 0
 
     @property
     def head_block(self) -> int:
@@ -52,3 +78,40 @@ class Journal:
             remaining -= chunk
         self.records_written += nblocks
         return requests
+
+    # -- write-ahead records --------------------------------------------------
+    def log(
+        self, dirties: list[int] | tuple[int, ...], nblocks: int = 1
+    ) -> tuple[JournalRecord, list[BlockRequest]]:
+        """Start a write-ahead record for an operation dirtying ``dirties``.
+
+        Returns the (uncommitted) record plus the commit-block write
+        requests; the caller submits the writes and, if they all reached
+        the disk intact, acknowledges with :meth:`commit`.
+        """
+        record = JournalRecord(
+            seq=self._seq, block=self.head_block, dirties=tuple(dirties)
+        )
+        self._seq += 1
+        self._records.append(record)
+        return (record, self.append(nblocks))
+
+    def commit(self, record: JournalRecord) -> None:
+        """Mark ``record`` durable (its commit write hit the platter)."""
+        record.committed = True
+
+    def replay(self) -> list[JournalRecord]:
+        """Committed records since the last truncation, in commit order.
+
+        Uncommitted (torn / crashed) records are *not* returned: their
+        operations never became durable, so recovery must not redo them.
+        """
+        return [r for r in self._records if r.committed]
+
+    def pending_records(self) -> list[JournalRecord]:
+        """Records whose commit write never completed intact."""
+        return [r for r in self._records if not r.committed]
+
+    def truncate(self) -> None:
+        """Drop all records (checkpoint made their effects durable)."""
+        self._records.clear()

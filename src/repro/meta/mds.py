@@ -64,9 +64,6 @@ class MetadataServer:
         self._dirty: set[int] = set()
         self._ops_since_ckpt = 0
         self.ops = 0
-        # Redo log: home blocks dirtied by each journaled record since the
-        # last checkpoint, in commit order (what crash recovery replays).
-        self._redo: list[list[int]] = []
 
     # -- timing --------------------------------------------------------------
     @property
@@ -81,6 +78,13 @@ class MetadataServer:
     @property
     def root(self):
         return self.layout.root
+
+    @property
+    def _redo(self) -> list[list[int]]:
+        """Compatibility view of the journal's committed redo records: home
+        blocks dirtied by each record since the last checkpoint, in commit
+        order (what crash recovery replays)."""
+        return [list(r.dirties) for r in self.journal.replay()]
 
     # -- operations ---------------------------------------------------------
     def mkdir(self, parent, name: str):
@@ -147,6 +151,7 @@ class MetadataServer:
         """Flush dirty home blocks; returns the number of dirty blocks."""
         if not self._dirty:
             self._ops_since_ckpt = 0
+            self.journal.truncate()  # nothing dirty: no record needs replay
             return 0
         requests = [BlockRequest(b, 1, is_write=True) for b in sorted(self._dirty)]
         self.disk.submit_batch(requests)
@@ -155,7 +160,7 @@ class MetadataServer:
         flushed = len(self._dirty)
         self._dirty.clear()
         self._ops_since_ckpt = 0
-        self._redo.clear()  # checkpointed state needs no replay
+        self.journal.truncate()  # checkpointed state needs no replay
         self.metrics.incr("mds.checkpoints")
         self.metrics.incr("mds.checkpoint_blocks", flushed)
         if self.tracer.enabled:
@@ -181,23 +186,27 @@ class MetadataServer:
         configuration relies on exactly this).  Returns the number of
         records replayed.
         """
-        replayed = len(self._redo)
+        records = self.journal.replay()
+        discarded = len(self.journal.pending_records())
+        replayed = len(records)
         self.cache.drop()
         self._dirty.clear()
-        # Replay: sequential journal scan (one read per record's block
-        # region, cheap) re-establishes the dirty home blocks.
-        journal_cursor = self.journal.head_block - replayed
-        for dirties in self._redo:
-            block = self.journal.base_block + (
-                (journal_cursor - self.journal.base_block) % self.journal.nblocks
-            )
-            self.cache.read(max(block, self.journal.base_block), 1)
-            journal_cursor += 1
-            self._dirty.update(dirties)
-        self._redo.clear()
-        self.checkpoint()
+        # Replay: sequential journal scan (one read per record's commit
+        # block, cheap) re-establishes the dirty home blocks.  Uncommitted
+        # (torn / crashed) records are discarded — their operations never
+        # became durable.
+        for rec in records:
+            self.cache.read(rec.block, 1)
+            self._dirty.update(rec.dirties)
+        self.checkpoint()  # truncates the journal, discarding torn records
         self.metrics.incr("mds.crash_recoveries")
         self.metrics.incr("mds.replayed_records", replayed)
+        if discarded:
+            self.metrics.incr("mds.discarded_records", discarded)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "meta", "crash_recover", replayed=replayed, discarded=discarded
+            )
         return replayed
 
     def reset_timeline(self) -> None:
@@ -217,14 +226,25 @@ class MetadataServer:
         for block, count in plan.reads:
             self.cache.read(block, count)
         if plan.journal_records > 0 and self.config.meta.sync_writes:
-            for req in self.journal.append(plan.journal_records):
+            record, requests_j = self.journal.log(
+                plan.dirties, plan.journal_records
+            )
+            torn_before = self.disk.torn_writes
+            for req in requests_j:
                 self.disk.submit(req)
             self.metrics.incr("mds.journal_writes", plan.journal_records)
-            self._redo.append(list(plan.dirties))
-            if self.tracer.enabled:
-                self.tracer.emit(
-                    "meta", "journal_commit", records=plan.journal_records
-                )
+            if self.disk.torn_writes > torn_before:
+                # The commit record hit the platter torn: write-ahead rules
+                # say the operation never committed, so replay skips it.
+                self.metrics.incr("mds.torn_journal_records")
+                if self.tracer.enabled:
+                    self.tracer.emit("meta", "journal_torn", seq=record.seq)
+            else:
+                self.journal.commit(record)
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "meta", "journal_commit", records=plan.journal_records
+                    )
         if plan.dirties:
             self._dirty.update(plan.dirties)
         self._cpu_s += plan.cpu_s

@@ -31,7 +31,7 @@ class TraceEvent:
     """One structured event on the simulated timeline."""
 
     t: float                 #: simulated timestamp (seconds)
-    layer: str               #: subsystem: disk, sched, cache, fsm, alloc, fs, meta, run
+    layer: str               #: subsystem: disk, sched, cache, fsm, alloc, fs, meta, fault, run
     op: str                  #: operation within the layer
     dur: float = 0.0         #: simulated duration (seconds), 0 for instants
     stream: int | None = None  #: originating write stream, when known

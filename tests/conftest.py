@@ -2,7 +2,16 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
+
+# Derandomize property tests on CI so red builds reproduce locally from the
+# printed blob; "dev" keeps the default randomized exploration.
+settings.register_profile("ci", derandomize=True, print_blob=True)
+settings.register_profile("dev")
+settings.load_profile("ci" if os.environ.get("CI") else "dev")
 
 from repro.config import (
     AllocPolicyParams,

@@ -213,3 +213,74 @@ class TestRelease:
         p.release(FILE)
         # Whatever is not free must be exactly the blocks handed to the file.
         assert fsm.free_blocks == total - allocated
+
+
+class TestOutOfSpace:
+    """ENOSPC must be exception-safe: a failed allocate leaves the stream
+    state and the free-space accounting exactly as they were, and a later
+    allocate (after space is freed) works normally."""
+
+    def _tiny_policy(self) -> OnDemandPolicy:
+        fsm = FreeSpaceManager(ndisks=1, blocks_per_disk=64, pags_per_disk=1)
+        return OnDemandPolicy(
+            AllocPolicyParams(policy="ondemand", window_scale=2, miss_threshold=3),
+            fsm,
+        )
+
+    def _fill(self, p: OnDemandPolicy) -> list:
+        from repro.errors import NoSpaceError
+
+        runs = []
+        dlocal = 0
+        while True:
+            try:
+                for r in p.allocate(2, 1, target(), dlocal=dlocal, count=4):
+                    dlocal = r.dlocal + r.length
+                    runs.append(r)
+            except NoSpaceError:
+                return runs
+
+    def test_failed_allocate_rolls_back(self):
+        from repro.errors import NoSpaceError
+
+        p = self._tiny_policy()
+        self._fill(p)
+        used_before = p.fsm.used_blocks
+        st_before = p.stream_state(2, 1, 0)
+        misses_before = st_before.misses if st_before else 0
+        last_end_before = st_before.last_end if st_before else None
+        with pytest.raises(NoSpaceError):
+            p.allocate(FILE, 7, target(), dlocal=0, count=4)
+        assert p.fsm.used_blocks == used_before  # nothing leaked
+        st_new = p.stream_state(FILE, 7, 0)
+        if st_new is not None:  # entry may exist, but must be pristine
+            assert st_new.misses == 0
+            assert st_new.current is None and st_new.sequential is None
+            assert st_new.last_end is None
+        st_after = p.stream_state(2, 1, 0)
+        if st_after is not None:
+            assert st_after.misses == misses_before
+            assert st_after.last_end == last_end_before
+
+    def test_allocate_works_after_space_freed(self):
+        from repro.errors import NoSpaceError
+
+        p = self._tiny_policy()
+        filler_runs = self._fill(p)
+        with pytest.raises(NoSpaceError):
+            p.allocate(FILE, 7, target(), dlocal=0, count=4)
+        p.release(2)
+        for r in filler_runs[:4]:  # delete part of the filler file
+            p.fsm.free(r.physical, r.length)
+        runs = p.allocate(FILE, 7, target(), dlocal=0, count=4)
+        assert sum(r.length for r in runs) == 4
+
+    def test_enospc_rollback_counter(self):
+        from repro.errors import NoSpaceError
+
+        p = self._tiny_policy()
+        self._fill(p)
+        before = p.metrics.count("alloc.enospc_rolled_back_blocks")
+        with pytest.raises(NoSpaceError):
+            p.allocate(FILE, 7, target(), dlocal=0, count=4)
+        assert p.metrics.count("alloc.enospc_rolled_back_blocks") >= before

@@ -128,3 +128,67 @@ class TestReadahead:
         for b in (5000, 100, 9000, 42, 7777):
             cache.read(b, 1)
         assert disk.metrics.count("disk.blocks") == 5
+
+
+class TestBillingOnCachedReads:
+    """Fully cache-resident reads must cost zero simulated time even when
+    they cross a stale readahead frontier: the synchronous prefetch the
+    frontier triggers is still issued, but its disk time belongs to the
+    background, not to the read that never touched the disk."""
+
+    def test_hypothesis_pinned_example(self):
+        # Minimal falsifying example found by test_cache_read_your_reads:
+        # (485, 2) crosses the frontier left at 485 by the first read's
+        # prefetch, then (482, 3) re-reads resident blocks across it.
+        cache, _ = make_cache(capacity=65536, ra_init=4, ra_max=32)
+        for start, n in [(478, 2), (485, 2), (425, 1), (482, 3)]:
+            cache.read(start, n)
+            for b in range(start, start + n):
+                assert b in cache
+            assert cache.read(start, n) == 0.0
+
+    def test_prefetch_still_issued_but_unbilled(self):
+        cache, disk = make_cache(capacity=65536, ra_init=4, ra_max=32)
+        cache.read(478, 2)  # leaves a frontier past 480
+        frontier = next(iter(cache._ra))
+        for b in range(480, frontier + 1):
+            cache.write(b, 1)  # make the frontier read fully resident
+        before = disk.metrics.count("disk.read_requests")
+        elapsed = cache.read(frontier - 1, 2)  # crosses the frontier
+        assert elapsed == 0.0  # resident read: free...
+        assert disk.metrics.count("disk.read_requests") > before  # ...but prefetched
+        assert cache.metrics.count("cache.prefetch_only_reads") == 1
+        assert cache.metrics.total("cache.unbilled_prefetch_s") > 0.0
+
+    def test_partial_miss_still_billed(self):
+        cache, _ = make_cache()
+        cache.write(100, 1)  # resident, but no readahead frontier
+        assert cache.read(100, 2) > 0.0  # block 101 is a real miss
+
+
+class TestInvalidateReadahead:
+    def test_invalidate_drops_context_into_region(self):
+        cache, _ = make_cache(ra_init=4, ra_max=32)
+        cache.read(10, 2)  # prefetches and leaves a frontier near 16
+        assert cache._ra
+        frontier = next(iter(cache._ra))
+        cache.invalidate(frontier - 1, 4)
+        assert frontier not in cache._ra
+        assert cache.metrics.count("cache.ra_invalidated") >= 1
+
+    def test_invalidate_far_region_keeps_context(self):
+        cache, _ = make_cache(ra_init=4, ra_max=32)
+        cache.read(10, 2)
+        assert cache._ra
+        cache.invalidate(5000, 4)
+        assert cache._ra  # unrelated context survives
+
+    def test_invalidated_frontier_does_not_leak_billing(self):
+        # After invalidation, re-reading near the old frontier re-misses and
+        # is billed (the context is gone, so no frontier crossing applies).
+        cache, disk = make_cache(ra_init=4, ra_max=32)
+        cache.read(10, 2)
+        frontier = next(iter(cache._ra))
+        cache.invalidate(10, frontier + 8 - 10)
+        assert cache.read(frontier, 1) > 0.0
+        assert disk.metrics.count("disk.read_requests") >= 2

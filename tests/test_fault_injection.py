@@ -1,0 +1,147 @@
+"""Fault injection beneath the disk: plans, LSEs, torn writes, crashes."""
+
+import pytest
+
+from repro.config import DiskParams, SchedulerParams
+from repro.disk.disk import SimulatedDisk
+from repro.disk.model import BlockRequest
+from repro.errors import ConfigError, CrashError, LatentSectorError
+from repro.fault import FaultInjector, FaultPlan
+
+
+def make_disk() -> SimulatedDisk:
+    return SimulatedDisk(DiskParams(capacity_blocks=1 << 14), SchedulerParams())
+
+
+class TestFaultPlan:
+    def test_seeded_is_deterministic(self):
+        a = FaultPlan.seeded(7, 1 << 14)
+        b = FaultPlan.seeded(7, 1 << 14)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert FaultPlan.seeded(1, 1 << 14) != FaultPlan.seeded(2, 1 << 14)
+
+    def test_crash_window_none_disables_crash(self):
+        plan = FaultPlan.seeded(0, 1 << 14, crash_window=None)
+        assert plan.crash_after_requests is None
+
+    def test_crash_point_within_window(self):
+        plan = FaultPlan.seeded(0, 1 << 14, crash_window=(10, 60))
+        assert 10 <= plan.crash_after_requests < 60
+
+    def test_lse_blocks_flattens_ranges(self):
+        plan = FaultPlan(seed=0, lse_ranges=((5, 2), (100, 1)))
+        assert plan.lse_blocks() == {5, 6, 100}
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(seed=0, torn_every=-1)
+        with pytest.raises(ConfigError):
+            FaultPlan(seed=0, crash_after_requests=-5)
+        with pytest.raises(ConfigError):
+            FaultPlan(seed=0, lse_ranges=((-1, 2),))
+
+
+class TestLatentSectorErrors:
+    def test_read_of_bad_block_raises(self):
+        disk = make_disk()
+        disk.attach_injector(FaultInjector(FaultPlan(seed=0, lse_ranges=((50, 2),))))
+        with pytest.raises(LatentSectorError):
+            disk.submit(BlockRequest(49, 4))
+
+    def test_read_elsewhere_succeeds(self):
+        disk = make_disk()
+        disk.attach_injector(FaultInjector(FaultPlan(seed=0, lse_ranges=((50, 2),))))
+        assert disk.submit(BlockRequest(200, 4)) > 0.0
+
+    def test_write_heals(self):
+        disk = make_disk()
+        inj = FaultInjector(FaultPlan(seed=0, lse_ranges=((50, 2),)))
+        disk.attach_injector(inj)
+        disk.submit(BlockRequest(50, 2, is_write=True))
+        assert inj.bad_blocks == frozenset()
+        assert disk.submit(BlockRequest(50, 2)) > 0.0
+
+    def test_develop_lse_after_write(self):
+        disk = make_disk()
+        inj = FaultInjector(FaultPlan(seed=0))
+        disk.attach_injector(inj)
+        disk.submit(BlockRequest(10, 4, is_write=True))
+        assert inj.written == {10, 11, 12, 13}
+        assert inj.develop_lse({11}) == 1
+        with pytest.raises(LatentSectorError):
+            disk.submit(BlockRequest(10, 4))
+
+    def test_partial_batch_still_bills_serviced_requests(self):
+        disk = make_disk()
+        disk.attach_injector(FaultInjector(FaultPlan(seed=0, lse_ranges=((500, 1),))))
+        busy_before = disk.busy_s
+        with pytest.raises(LatentSectorError):
+            # FIFO order within the arranged batch is not guaranteed, but at
+            # least the requests serviced before the bad one must be billed.
+            disk.submit_batch([BlockRequest(10, 2), BlockRequest(500, 1)])
+        assert disk.busy_s > busy_before
+
+
+class TestTornWrites:
+    def test_every_nth_multiblock_write_is_torn(self):
+        disk = make_disk()
+        inj = FaultInjector(FaultPlan(seed=0, torn_every=2))
+        disk.attach_injector(inj)
+        for i in range(4):
+            disk.submit(BlockRequest(i * 100, 8, is_write=True))
+        assert inj.torn_writes == 2
+        assert disk.metrics.count("fault.torn_writes") == 2
+
+    def test_single_block_writes_are_atomic(self):
+        disk = make_disk()
+        inj = FaultInjector(FaultPlan(seed=0, torn_every=1))
+        disk.attach_injector(inj)
+        for i in range(5):
+            disk.submit(BlockRequest(i * 10, 1, is_write=True))
+        assert inj.torn_writes == 0
+
+    def test_torn_write_persists_strict_prefix(self):
+        disk = make_disk()
+        inj = FaultInjector(FaultPlan(seed=0, torn_every=1))
+        disk.attach_injector(inj)
+        disk.submit(BlockRequest(0, 8, is_write=True))
+        assert inj.written == set(range(0, 4))  # half persisted
+
+
+class TestCrashPoints:
+    def test_crash_fires_at_the_configured_request(self):
+        disk = make_disk()
+        inj = FaultInjector(FaultPlan(seed=0, crash_after_requests=3))
+        disk.attach_injector(inj)
+        for i in range(3):
+            disk.submit(BlockRequest(i * 10, 1))
+        with pytest.raises(CrashError):
+            disk.submit(BlockRequest(100, 1))
+        assert inj.crashes == 1
+
+    def test_crash_disarms_injector(self):
+        disk = make_disk()
+        inj = FaultInjector(FaultPlan(seed=0, crash_after_requests=0))
+        disk.attach_injector(inj)
+        with pytest.raises(CrashError):
+            disk.submit(BlockRequest(0, 1))
+        # Recovery runs against a quiet disk: no re-crash.
+        assert disk.submit(BlockRequest(0, 1)) > 0.0
+
+    def test_detach_removes_injection(self):
+        disk = make_disk()
+        disk.attach_injector(FaultInjector(FaultPlan(seed=0, lse_ranges=((5, 1),))))
+        disk.detach_injector()
+        assert disk.submit(BlockRequest(5, 1)) > 0.0
+
+    def test_disarmed_injector_counts_nothing(self):
+        disk = make_disk()
+        inj = FaultInjector(FaultPlan(seed=0, lse_ranges=((5, 1),), torn_every=1))
+        disk.attach_injector(inj)
+        inj.disarm()
+        disk.submit(BlockRequest(5, 4, is_write=True))
+        disk.submit(BlockRequest(5, 1))
+        assert inj.requests_seen == 0
+        assert inj.torn_writes == 0
