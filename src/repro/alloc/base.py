@@ -16,7 +16,6 @@ extents.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
 
 from repro.block.freespace import FreeSpaceManager
 from repro.config import AllocPolicyParams
@@ -25,40 +24,88 @@ from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.sim.metrics import Metrics
 
 
-@dataclass(frozen=True, slots=True)
 class AllocTarget:
-    """Where a write segment lands: one PAG in the file's stripe rotation."""
+    """Where a write segment lands: one PAG in the file's stripe rotation.
 
-    group_index: int    # PAG index in the FreeSpaceManager
-    slot: int           # this PAG's position in the file's rotation
-    width: int          # number of PAGs in the rotation
-    stripe_blocks: int  # stripe unit in blocks
+    A plain slots class (the write path builds one per mapped segment);
+    value semantics stay dataclass-compatible.
+    """
 
-    def __post_init__(self) -> None:
-        if self.group_index < 0 or self.slot < 0:
-            raise AllocationError(f"invalid target ids: {self}")
-        if self.width <= 0 or not (0 <= self.slot < self.width):
-            raise AllocationError(f"slot/width mismatch: {self}")
-        if self.stripe_blocks <= 0:
-            raise AllocationError(f"stripe_blocks must be positive: {self}")
+    __slots__ = ("group_index", "slot", "width", "stripe_blocks")
+
+    def __init__(
+        self, group_index: int, slot: int, width: int, stripe_blocks: int
+    ) -> None:
+        if group_index < 0 or slot < 0:
+            raise AllocationError(f"invalid target ids: group={group_index} slot={slot}")
+        if width <= 0 or not (0 <= slot < width):
+            raise AllocationError(f"slot/width mismatch: slot={slot} width={width}")
+        if stripe_blocks <= 0:
+            raise AllocationError(f"stripe_blocks must be positive: {stripe_blocks}")
+        self.group_index = group_index
+        self.slot = slot
+        self.width = width
+        self.stripe_blocks = stripe_blocks
+
+    def _key(self) -> tuple[int, int, int, int]:
+        return (self.group_index, self.slot, self.width, self.stripe_blocks)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not AllocTarget:
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (
+            f"AllocTarget(group_index={self.group_index}, slot={self.slot}, "
+            f"width={self.width}, stripe_blocks={self.stripe_blocks})"
+        )
 
 
-@dataclass(frozen=True, slots=True)
 class PhysicalRun:
     """A contiguous physical allocation returned by a policy.
 
     ``dlocal`` is the allocator-local logical start the run backs;
     ``unwritten`` marks persistent preallocation beyond the written range.
+    A plain slots class (policies build one per returned run); value
+    semantics stay dataclass-compatible.
     """
 
-    dlocal: int
-    physical: int
-    length: int
-    unwritten: bool = False
+    __slots__ = ("dlocal", "physical", "length", "unwritten")
 
-    def __post_init__(self) -> None:
-        if self.dlocal < 0 or self.physical < 0 or self.length <= 0:
-            raise AllocationError(f"invalid run: {self}")
+    def __init__(
+        self, dlocal: int, physical: int, length: int, unwritten: bool = False
+    ) -> None:
+        if dlocal < 0 or physical < 0 or length <= 0:
+            raise AllocationError(
+                f"invalid run: dlocal={dlocal} physical={physical} length={length}"
+            )
+        self.dlocal = dlocal
+        self.physical = physical
+        self.length = length
+        self.unwritten = unwritten
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not PhysicalRun:
+            return NotImplemented
+        return (
+            self.dlocal == other.dlocal
+            and self.physical == other.physical
+            and self.length == other.length
+            and self.unwritten == other.unwritten
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.dlocal, self.physical, self.length, self.unwritten))
+
+    def __repr__(self) -> str:
+        return (
+            f"PhysicalRun(dlocal={self.dlocal}, physical={self.physical}, "
+            f"length={self.length}, unwritten={self.unwritten})"
+        )
 
 
 class AllocationPolicy(abc.ABC):
@@ -81,6 +128,9 @@ class AllocationPolicy(abc.ABC):
         self.fsm = fsm
         self.metrics = metrics if metrics is not None else Metrics()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Per-request counter bumps inline on this mapping in the hot
+        # allocate loops (see Metrics.raw_counters).
+        self._counters = self.metrics.raw_counters()
 
     # -- the one required operation ------------------------------------------
     @abc.abstractmethod

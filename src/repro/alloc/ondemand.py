@@ -67,7 +67,7 @@ class OnDemandPolicy(AllocationPolicy):
         dlocal: int,
         count: int,
     ) -> list[PhysicalRun]:
-        self.metrics.incr("alloc.requests")
+        self._counters["alloc.requests"] += 1
         key = (file_id, stream_id, target.group_index)
         st = self._states.get(key)
         if st is None:
@@ -101,6 +101,7 @@ class OnDemandPolicy(AllocationPolicy):
     ) -> None:
         cursor = dlocal
         remaining = count
+        counters = self._counters
         while remaining > 0:
             cw, sw = st.current, st.sequential
             if cw is not None and cw.covers(cursor) and cursor >= cw.next_logical:
@@ -110,7 +111,7 @@ class OnDemandPolicy(AllocationPolicy):
                 if cursor > cw.next_logical:
                     skipped = cursor - cw.next_logical
                     self.fsm.free(cw.next_physical, skipped)
-                    self.metrics.incr("alloc.cw_skipped_blocks", skipped)
+                    counters["alloc.cw_skipped_blocks"] += skipped
                 take = min(remaining, cw.logical_end - cursor)
                 physical = cw.physical_for(cursor)
                 runs.append(PhysicalRun(dlocal=cursor, physical=physical, length=take))
@@ -118,10 +119,10 @@ class OnDemandPolicy(AllocationPolicy):
                 st.last_end = physical + take
                 cursor += take
                 remaining -= take
-                self.metrics.incr("alloc.cw_hits")
+                counters["alloc.cw_hits"] += 1
             elif st.prealloc_on and sw is not None and sw.covers(cursor):
                 # pre_alloc_layout: the stream proved sequential.
-                self.metrics.incr("alloc.trigger_prealloc_layout")
+                counters["alloc.trigger_prealloc_layout"] += 1
                 if self.tracer.enabled:
                     self.tracer.emit(
                         "alloc",
@@ -135,7 +136,7 @@ class OnDemandPolicy(AllocationPolicy):
                 self._promote(key, st, target)
             else:
                 # layout_miss (also the stream's very first extend).
-                self.metrics.incr("alloc.trigger_layout_miss")
+                counters["alloc.trigger_layout_miss"] += 1
                 if self.tracer.enabled:
                     self.tracer.emit(
                         "alloc",

@@ -40,9 +40,18 @@ class ReservationPolicy(AllocationPolicy):
         dlocal: int,
         count: int,
     ) -> list[PhysicalRun]:
-        self.metrics.incr("alloc.requests")
-        runs: list[PhysicalRun] = []
+        self._counters["alloc.requests"] += 1
         key = (file_id, target.group_index)
+        pool = self._pools.get(key)
+        if pool is not None and pool.length - pool.consumed >= count:
+            # Fast path: the live pool covers the whole request — one run,
+            # no loop, no property indirection.
+            run = PhysicalRun(
+                dlocal=dlocal, physical=pool.physical + pool.consumed, length=count
+            )
+            pool.consumed += count
+            return [run]
+        runs: list[PhysicalRun] = []
         cursor = dlocal
         remaining = count
         while remaining > 0:

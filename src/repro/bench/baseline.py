@@ -106,10 +106,21 @@ def render(result: RunResult, *, scale: float, seed: int) -> dict[str, Any]:
 
 
 def collect(
-    name: str, *, scale: float = PINNED_SCALE, seed: int = PINNED_SEED
+    name: str,
+    *,
+    scale: float = PINNED_SCALE,
+    seed: int = PINNED_SEED,
+    jobs: int | None = None,
 ) -> dict[str, Any]:
-    """Run ``name`` at the pinned configuration and render its document."""
-    return render(run(name, scale=scale, seed=seed), scale=scale, seed=seed)
+    """Run ``name`` at the pinned configuration and render its document.
+
+    ``jobs`` selects the worker count for runners that support parallel
+    sweeps (see :mod:`repro.core.parallel`); it never changes the document.
+    """
+    kwargs: dict[str, Any] = {}
+    if jobs is not None:
+        kwargs["jobs"] = jobs
+    return render(run(name, scale=scale, seed=seed, **kwargs), scale=scale, seed=seed)
 
 
 def dumps(doc: dict[str, Any]) -> str:

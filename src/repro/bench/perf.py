@@ -1,0 +1,118 @@
+"""Wall-clock comparison of the fig7 sweep's execution strategies.
+
+The simulator's results are a pure function of (runner, scale, seed); the
+batched I/O pipeline, the vectorized disk model and the parallel sweep
+driver only change how fast that function evaluates.  :func:`measure` runs
+the Fig. 7 macro-benchmark sweep three ways and proves the equivalence on
+every run:
+
+- **legacy** — per-segment data path, scalar disk model, serial sweep
+  (the pre-optimization execution strategy, kept behind
+  ``FSConfig.io_batching`` / ``FSConfig.vectorized_disks``);
+- **batched** — request batching + vectorized service-time model, serial;
+- **parallel** — batched, with sweep cells fanned out over ``jobs``
+  worker processes (:mod:`repro.core.parallel`).
+
+All three rendered benchmark documents (the same rendering the BENCH
+regression gate uses) must be byte-identical; :class:`PerfReport` records
+the wall-clock of each mode and whether the equivalence held.  On a
+single-core host the parallel mode pays process start-up for no gain —
+the speedup then comes entirely from batching and vectorization.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.bench.baseline import dumps, render
+from repro.core.parallel import resolve_jobs
+from repro.core.run import run
+
+#: The runner whose sweep is timed; fig7 exercises the whole data path
+#: (allocation, scheduling, disk model) across 8 independent cells.
+PERF_RUNNER = "fig7"
+
+
+@dataclass(frozen=True)
+class PerfReport:
+    """Timings (host seconds) for one three-way measurement."""
+
+    runner: str
+    scale: float
+    seed: int
+    jobs: int
+    legacy_s: float
+    batched_s: float
+    parallel_s: float
+    #: True when all three modes rendered byte-identical documents.
+    identical: bool
+    fingerprint: str
+
+    @property
+    def batched_speedup(self) -> float:
+        """legacy / batched wall-clock ratio (> 1 means batched is faster)."""
+        return self.legacy_s / self.batched_s if self.batched_s > 0 else 0.0
+
+    @property
+    def parallel_speedup(self) -> float:
+        """legacy / parallel wall-clock ratio (> 1 means parallel is faster)."""
+        return self.legacy_s / self.parallel_s if self.parallel_s > 0 else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "runner": self.runner,
+            "scale": self.scale,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "legacy_s": self.legacy_s,
+            "batched_s": self.batched_s,
+            "parallel_s": self.parallel_s,
+            "batched_speedup": self.batched_speedup,
+            "parallel_speedup": self.parallel_speedup,
+            "identical": self.identical,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def _timed(**kwargs: Any) -> tuple[float, str, str]:
+    """Run the perf runner once; (wall seconds, rendered doc, fingerprint)."""
+    scale, seed = kwargs["scale"], kwargs["seed"]
+    t0 = time.perf_counter()
+    result = run(PERF_RUNNER, **kwargs)
+    elapsed = time.perf_counter() - t0
+    return elapsed, dumps(render(result, scale=scale, seed=seed)), result.fingerprint
+
+
+def measure(
+    *, scale: float = 1.0, seed: int = 0, jobs: int | None = None
+) -> PerfReport:
+    """Time the fig7 sweep under all three execution strategies.
+
+    Raises nothing on divergence — the report's ``identical`` flag carries
+    the verdict so callers (the CLI, CI's perf-smoke job) decide severity.
+    """
+    n = resolve_jobs(jobs)
+    legacy_s, legacy_doc, fp = _timed(scale=scale, seed=seed, legacy_io=True)
+    batched_s, batched_doc, _ = _timed(scale=scale, seed=seed)
+    parallel_s, parallel_doc, _ = _timed(scale=scale, seed=seed, jobs=n)
+    return PerfReport(
+        runner=PERF_RUNNER,
+        scale=scale,
+        seed=seed,
+        jobs=n,
+        legacy_s=legacy_s,
+        batched_s=batched_s,
+        parallel_s=parallel_s,
+        identical=legacy_doc == batched_doc == parallel_doc,
+        fingerprint=fp,
+    )
+
+
+def save_report(report: PerfReport, path: str) -> None:
+    """Write the report as sorted-key JSON (CI timing artifact)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report.to_dict(), fh, sort_keys=True, indent=2)
+        fh.write("\n")

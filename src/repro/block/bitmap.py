@@ -34,11 +34,14 @@ class BlockBitmap:
         # Rotating default search start: avoids rescanning the used prefix
         # of a filling bitmap on every unhinted allocation.
         self._rotor = 0
+        # Incremental population count, maintained on every mutation so
+        # ``used_count`` never pays an O(size) ``.sum()``.
+        self._used_count = 0
 
     # -- queries ------------------------------------------------------------
     @property
     def used_count(self) -> int:
-        return int(self._used.sum())
+        return self._used_count
 
     @property
     def free_count(self) -> int:
@@ -64,6 +67,7 @@ class BlockBitmap:
         if self._used[start : start + count].any():
             raise AllocationError(f"double allocation in [{start}, {start + count})")
         self._used[start : start + count] = True
+        self._used_count += count
         self._rotor = start + count if start + count < self.size else 0
         return self._dirty_blocks(start, count)
 
@@ -73,6 +77,7 @@ class BlockBitmap:
         if not self._used[start : start + count].all():
             raise AllocationError(f"double free in [{start}, {start + count})")
         self._used[start : start + count] = False
+        self._used_count -= count
         # Rewind the rotor so freed slots are found again (first-fit reuse,
         # like ext3's bitmap scans from the group start).
         self._rotor = min(self._rotor, start)
@@ -93,6 +98,7 @@ class BlockBitmap:
                 f"{mask.dtype} {mask.shape}"
             )
         self._used = mask.copy()
+        self._used_count = int(mask.sum())
         self._rotor = 0
 
     def occupy_mask(self, mask: np.ndarray) -> int:
@@ -106,6 +112,7 @@ class BlockBitmap:
             )
         fresh = int((mask & ~self._used).sum())
         self._used |= mask
+        self._used_count += fresh
         self._rotor = 0
         return fresh
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import enum
 from bisect import bisect_right
-from dataclasses import dataclass, replace
 
 from repro.errors import ExtentError
 
@@ -24,24 +23,59 @@ class ExtentFlags(enum.IntFlag):
     UNWRITTEN = 1
 
 
-@dataclass(frozen=True, slots=True)
 class Extent:
     """A contiguous mapping of file logical blocks to physical blocks.
 
     ``logical`` is the file block offset, ``physical`` the global disk block
     (PAG-resolved "group offset"), ``length`` the run length in blocks.
+
+    A plain slots class rather than a frozen dataclass: extent maps build
+    and merge extents on every write, and the frozen init path costs ~3x a
+    plain one.  Instances are treated as immutable by convention; value
+    semantics (eq/hash/repr) stay dataclass-compatible.
     """
 
-    logical: int
-    physical: int
-    length: int
-    flags: ExtentFlags = ExtentFlags.NONE
+    __slots__ = ("logical", "physical", "length", "flags")
 
-    def __post_init__(self) -> None:
-        if self.logical < 0 or self.physical < 0:
-            raise ExtentError(f"negative extent coordinates: {self}")
-        if self.length <= 0:
-            raise ExtentError(f"extent length must be positive: {self}")
+    def __init__(
+        self,
+        logical: int,
+        physical: int,
+        length: int,
+        flags: ExtentFlags | int = 0,
+    ) -> None:
+        if logical < 0 or physical < 0:
+            raise ExtentError(
+                f"negative extent coordinates: logical={logical} physical={physical}"
+            )
+        if length <= 0:
+            raise ExtentError(f"extent length must be positive: {length}")
+        self.logical = logical
+        self.physical = physical
+        self.length = length
+        # Store flags as a plain int: IntFlag's operators rebuild enum
+        # members on every `&`, which dominates the hot ``unwritten`` check;
+        # int comparisons against ExtentFlags members still work.
+        self.flags = flags if type(flags) is int else int(flags)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Extent:
+            return NotImplemented
+        return (
+            self.logical == other.logical
+            and self.physical == other.physical
+            and self.length == other.length
+            and self.flags == other.flags
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.logical, self.physical, self.length, self.flags))
+
+    def __repr__(self) -> str:
+        return (
+            f"Extent(logical={self.logical}, physical={self.physical}, "
+            f"length={self.length}, flags={self.flags})"
+        )
 
     @property
     def logical_end(self) -> int:
@@ -53,7 +87,7 @@ class Extent:
 
     @property
     def unwritten(self) -> bool:
-        return bool(self.flags & ExtentFlags.UNWRITTEN)
+        return bool(self.flags & 1)  # ExtentFlags.UNWRITTEN
 
     def physical_for(self, logical: int) -> int:
         """Physical block backing file block ``logical`` (must be inside)."""
@@ -64,9 +98,10 @@ class Extent:
     def abuts(self, other: "Extent") -> bool:
         """True when ``other`` continues this extent both logically and
         physically with identical flags (mergeable)."""
+        length = self.length
         return (
-            other.logical == self.logical_end
-            and other.physical == self.physical_end
+            other.logical == self.logical + length
+            and other.physical == self.physical + length
             and other.flags == self.flags
         )
 
@@ -82,6 +117,10 @@ class ExtentMap:
 
     def __init__(self) -> None:
         self._extents: list[Extent] = []  # sorted by logical start
+        # Parallel list of logical starts, kept in lockstep with _extents so
+        # the hot bisects run keyless over plain ints instead of paying an
+        # attribute-access lambda per probe.
+        self._starts: list[int] = []
 
     # -- queries ------------------------------------------------------------
     @property
@@ -118,7 +157,7 @@ class ExtentMap:
 
     def _index_for(self, logical: int) -> int:
         """Index of the extent containing ``logical``, or -1."""
-        i = bisect_right(self._extents, logical, key=lambda e: e.logical) - 1
+        i = bisect_right(self._starts, logical) - 1
         if i >= 0 and self._extents[i].logical <= logical < self._extents[i].logical_end:
             return i
         return -1
@@ -135,7 +174,7 @@ class ExtentMap:
             raise ExtentError(f"range count must be positive: {count}")
         out: list[Extent] = []
         end = logical + count
-        i = bisect_right(self._extents, logical, key=lambda e: e.logical) - 1
+        i = bisect_right(self._starts, logical) - 1
         if i < 0:
             i = 0
         while i < len(self._extents):
@@ -156,16 +195,110 @@ class ExtentMap:
             i += 1
         return out
 
+    def physical_runs(self, logical: int, count: int) -> list[tuple[int, int]]:
+        """``(physical, length)`` for every *written* run overlapping
+        [logical, logical+count), clipped to the range.
+
+        The I/O-emission variant of :meth:`lookup_range`: same runs, minus
+        unwritten extents, returned as plain tuples so the hot read/write
+        paths skip per-fragment :class:`Extent` construction.
+        """
+        if count <= 0:
+            raise ExtentError(f"range count must be positive: {count}")
+        end = logical + count
+        i = bisect_right(self._starts, logical) - 1
+        if i < 0:
+            i = 0
+        extents = self._extents
+        if i < len(extents):
+            # Fast path: one written extent covers the whole range.
+            ext = extents[i]
+            el = ext.logical
+            if el <= logical and el + ext.length >= end and not (ext.flags & 1):
+                return [(ext.physical + (logical - el), count)]
+        out: list[tuple[int, int]] = []
+        for i in range(i, len(extents)):
+            ext = extents[i]
+            el = ext.logical
+            if el >= end:
+                break
+            if ext.flags & 1:  # ExtentFlags.UNWRITTEN
+                continue
+            ee = el + ext.length
+            lo = el if el > logical else logical
+            hi = ee if ee < end else end
+            if lo < hi:
+                out.append((ext.physical + (lo - el), hi - lo))
+        return out
+
+    def scan_write_range(
+        self, logical: int, count: int
+    ) -> tuple[list[tuple[int, int]], bool, list[tuple[int, int]] | None]:
+        """One pass over [logical, logical+count) for the batched write path.
+
+        Returns ``(holes, has_unwritten, runs)``: ``holes`` is exactly
+        :meth:`holes_in_range`, ``has_unwritten`` whether any unwritten
+        extent overlaps the range (i.e. :meth:`mark_written` would change
+        something), and ``runs`` is the :meth:`physical_runs` result when
+        the range is fully written — or None when holes/unwritten extents
+        mean the caller must allocate and re-scan first.
+        """
+        if count <= 0:
+            raise ExtentError(f"range count must be positive: {count}")
+        holes: list[tuple[int, int]] = []
+        runs: list[tuple[int, int]] = []
+        has_unwritten = False
+        cursor = logical
+        end = logical + count
+        i = bisect_right(self._starts, logical) - 1
+        if i < 0:
+            i = 0
+        extents = self._extents
+        for i in range(i, len(extents)):
+            ext = extents[i]
+            el = ext.logical
+            if el >= end:
+                break
+            ee = el + ext.length
+            if ee <= cursor:
+                continue
+            if el > cursor:
+                holes.append((cursor, el - cursor))
+            if ext.flags & 1:  # ExtentFlags.UNWRITTEN
+                has_unwritten = True
+            else:
+                lo = el if el > cursor else cursor
+                hi = ee if ee < end else end
+                runs.append((ext.physical + (lo - el), hi - lo))
+            cursor = ee if ee < end else end
+        if cursor < end:
+            holes.append((cursor, end - cursor))
+        if holes or has_unwritten:
+            return holes, has_unwritten, None
+        return holes, False, runs
+
     def holes_in_range(self, logical: int, count: int) -> list[tuple[int, int]]:
         """Unmapped (start, length) gaps inside [logical, logical+count)."""
-        covered = self.lookup_range(logical, count)
+        if count <= 0:
+            raise ExtentError(f"range count must be positive: {count}")
         holes: list[tuple[int, int]] = []
         cursor = logical
-        for ext in covered:
-            if ext.logical > cursor:
-                holes.append((cursor, ext.logical - cursor))
-            cursor = ext.logical_end
         end = logical + count
+        i = bisect_right(self._starts, logical) - 1
+        if i < 0:
+            i = 0
+        extents = self._extents
+        for i in range(i, len(extents)):
+            ext = extents[i]
+            el = ext.logical
+            if el >= end:
+                break
+            ee = el + ext.length
+            if ee <= cursor:
+                continue
+            if el > cursor:
+                holes.append((cursor, el - cursor))
+            cursor = ee if ee < end else end
         if cursor < end:
             holes.append((cursor, end - cursor))
         return holes
@@ -173,7 +306,29 @@ class ExtentMap:
     # -- mutation -------------------------------------------------------------
     def insert(self, extent: Extent) -> None:
         """Insert a new mapping; overlap with an existing extent is an error."""
-        i = bisect_right(self._extents, extent.logical, key=lambda e: e.logical)
+        extents = self._extents
+        if extents:
+            # Fast path: appending at the end (sequential growth), the
+            # overwhelmingly common case on the write path.
+            prev = extents[-1]
+            pe = prev.logical + prev.length
+            if pe <= extent.logical:
+                if (
+                    pe == extent.logical
+                    and prev.physical + prev.length == extent.physical
+                    and prev.flags == extent.flags
+                ):
+                    extents[-1] = Extent(
+                        prev.logical,
+                        prev.physical,
+                        prev.length + extent.length,
+                        prev.flags,
+                    )
+                else:
+                    extents.append(extent)
+                    self._starts.append(extent.logical)
+                return
+        i = bisect_right(self._starts, extent.logical)
         if i > 0 and self._extents[i - 1].logical_end > extent.logical:
             raise ExtentError(f"overlap: {extent} vs {self._extents[i - 1]}")
         if i < len(self._extents) and self._extents[i].logical < extent.logical_end:
@@ -183,12 +338,15 @@ class ExtentMap:
             prev = self._extents[i - 1]
             extent = Extent(prev.logical, prev.physical, prev.length + extent.length, prev.flags)
             self._extents.pop(i - 1)
+            self._starts.pop(i - 1)
             i -= 1
         if i < len(self._extents) and extent.abuts(self._extents[i]):
             nxt = self._extents[i]
             extent = Extent(extent.logical, extent.physical, extent.length + nxt.length, extent.flags)
             self._extents.pop(i)
+            self._starts.pop(i)
         self._extents.insert(i, extent)
+        self._starts.insert(i, extent.logical)
 
     def mark_written(self, logical: int, count: int) -> None:
         """Convert unwritten (preallocated) blocks in the range to written,
@@ -196,7 +354,7 @@ class ExtentMap:
         if count <= 0:
             raise ExtentError(f"count must be positive: {count}")
         end = logical + count
-        i = bisect_right(self._extents, logical, key=lambda e: e.logical) - 1
+        i = bisect_right(self._starts, logical) - 1
         if i < 0:
             i = 0
         while i < len(self._extents):
@@ -210,7 +368,9 @@ class ExtentMap:
             hi = min(ext.logical_end, end)
             pieces: list[Extent] = []
             if ext.logical < lo:
-                pieces.append(replace(ext, length=lo - ext.logical))
+                pieces.append(
+                    Extent(ext.logical, ext.physical, lo - ext.logical, ext.flags)
+                )
             pieces.append(
                 Extent(lo, ext.physical + (lo - ext.logical), hi - lo, ExtentFlags.NONE)
             )
@@ -219,6 +379,7 @@ class ExtentMap:
                     Extent(hi, ext.physical + (hi - ext.logical), ext.logical_end - hi, ext.flags)
                 )
             self._extents[i : i + 1] = pieces
+            self._starts[i : i + 1] = [p.logical for p in pieces]
             # Re-merge the written piece with its neighbours where possible.
             j = i + (1 if ext.logical < lo else 0)
             self._remerge_around(j)
@@ -235,6 +396,7 @@ class ExtentMap:
             self._extents[i - 1 : i + 1] = [
                 Extent(prev.logical, prev.physical, prev.length + cur.length, prev.flags)
             ]
+            del self._starts[i]
             i -= 1
         # merge right
         if i + 1 < len(self._extents) and self._extents[i].abuts(self._extents[i + 1]):
@@ -242,6 +404,7 @@ class ExtentMap:
             self._extents[i : i + 2] = [
                 Extent(cur.logical, cur.physical, cur.length + nxt.length, cur.flags)
             ]
+            del self._starts[i + 1]
 
     def remove_range(self, logical: int, count: int) -> list[Extent]:
         """Unmap [logical, logical+count); returns the removed fragments
@@ -256,24 +419,31 @@ class ExtentMap:
                 kept.append(ext)
                 continue
             if ext.logical < logical:
-                kept.append(replace(ext, length=logical - ext.logical))
+                kept.append(
+                    Extent(ext.logical, ext.physical, logical - ext.logical, ext.flags)
+                )
             if ext.logical_end > end:
                 kept.append(
                     Extent(end, ext.physical + (end - ext.logical), ext.logical_end - end, ext.flags)
                 )
         self._extents = kept
+        self._starts = [e.logical for e in kept]
         return removed
 
     def clear(self) -> list[Extent]:
         """Unmap everything; returns the removed extents."""
         removed = self._extents
         self._extents = []
+        self._starts = []
         return removed
 
     def validate(self) -> None:
-        """Check internal invariants (sorted, non-overlapping, merged)."""
+        """Check internal invariants (sorted, non-overlapping, merged, and
+        the parallel start index in lockstep)."""
         for a, b in zip(self._extents, self._extents[1:]):
             if a.logical_end > b.logical:
                 raise ExtentError(f"overlapping extents: {a} / {b}")
             if a.abuts(b):
                 raise ExtentError(f"unmerged abutting extents: {a} / {b}")
+        if self._starts != [e.logical for e in self._extents]:
+            raise ExtentError("start index out of sync with extents")

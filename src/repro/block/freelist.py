@@ -22,12 +22,15 @@ class FreeExtentSet:
         self.size = size
         self._starts: list[int] = [base]
         self._lengths: list[int] = [size]
+        # Incremental total: maintained by allocate_exact/free so the hot
+        # free-space queries never re-sum the run list.
+        self._free_total = size
 
     # -- queries ------------------------------------------------------------
     @property
     def free_blocks(self) -> int:
-        """Total free blocks."""
-        return sum(self._lengths)
+        """Total free blocks (O(1); maintained incrementally)."""
+        return self._free_total
 
     @property
     def used_blocks(self) -> int:
@@ -74,6 +77,7 @@ class FreeExtentSet:
             pieces_lengths.append(tail)
         self._starts[i : i + 1] = pieces_starts
         self._lengths[i : i + 1] = pieces_lengths
+        self._free_total -= count
 
     def allocate_near(self, hint: int, count: int, minimum: int | None = None) -> tuple[int, int]:
         """Allocate a contiguous run of up to ``count`` blocks near ``hint``.
@@ -137,6 +141,7 @@ class FreeExtentSet:
             raise AllocationError(f"double free at block {start}")
         if i < len(self._starts) and self._starts[i] < start + count:
             raise AllocationError(f"double free at block {self._starts[i]}")
+        self._free_total += count
         # Coalesce with the left neighbour.
         if i > 0 and self._starts[i - 1] + self._lengths[i - 1] == start:
             self._lengths[i - 1] += count
@@ -155,7 +160,8 @@ class FreeExtentSet:
         self._lengths.insert(i, count)
 
     def validate(self) -> None:
-        """Check invariants: sorted, in-range, coalesced, positive lengths."""
+        """Check invariants: sorted, in-range, coalesced, positive lengths,
+        and the incremental free total matching the run lengths."""
         prev_end = None
         for s, l in zip(self._starts, self._lengths):
             if l <= 0:
@@ -165,3 +171,8 @@ class FreeExtentSet:
             if prev_end is not None and s <= prev_end:
                 raise AllocationError(f"overlapping/uncoalesced runs at {s}")
             prev_end = s + l
+        if self._free_total != sum(self._lengths):
+            raise AllocationError(
+                f"free total drifted: cached {self._free_total}, "
+                f"actual {sum(self._lengths)}"
+            )

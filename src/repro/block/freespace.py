@@ -38,22 +38,29 @@ class FreeSpaceManager:
         self.blocks_per_disk = blocks_per_disk
         self.pags_per_disk = pags_per_disk
         group_size = blocks_per_disk // pags_per_disk
+        self._group_size = group_size
         self.groups: list[AllocationGroup] = []
+        self._groups_by_disk: list[list[AllocationGroup]] = []
         index = 0
         for disk in range(ndisks):
             disk_base = disk * blocks_per_disk
+            disk_groups: list[AllocationGroup] = []
             for g in range(pags_per_disk):
-                self.groups.append(
-                    AllocationGroup(
-                        index=index,
-                        base=disk_base + g * group_size,
-                        size=group_size,
-                        disk_index=disk,
-                        metrics=self.metrics,
-                        tracer=self.tracer,
-                    )
+                group = AllocationGroup(
+                    index=index,
+                    base=disk_base + g * group_size,
+                    size=group_size,
+                    disk_index=disk,
+                    metrics=self.metrics,
+                    tracer=self.tracer,
                 )
+                self.groups.append(group)
+                disk_groups.append(group)
                 index += 1
+            self._groups_by_disk.append(disk_groups)
+        # Incremental free total, delta-updated on every allocate/free so the
+        # hot utilization checks never walk all groups.
+        self._free_total = ndisks * blocks_per_disk
 
     # -- queries ------------------------------------------------------------
     @property
@@ -62,11 +69,11 @@ class FreeSpaceManager:
 
     @property
     def free_blocks(self) -> int:
-        return sum(g.free_blocks for g in self.groups)
+        return self._free_total
 
     @property
     def used_blocks(self) -> int:
-        return sum(g.used_blocks for g in self.groups)
+        return self.total_blocks - self._free_total
 
     @property
     def utilization(self) -> float:
@@ -77,12 +84,14 @@ class FreeSpaceManager:
         """The group containing global block ``block``."""
         if not (0 <= block < self.total_blocks):
             raise AllocationError(f"block out of range: {block}")
-        disk, local = divmod(block, self.blocks_per_disk)
-        group_size = self.blocks_per_disk // self.pags_per_disk
-        return self.groups[disk * self.pags_per_disk + local // group_size]
+        # Groups tile the global space contiguously (disk-major), so the
+        # group index is a single division.
+        return self.groups[block // self._group_size]
 
     def groups_on_disk(self, disk_index: int) -> list[AllocationGroup]:
-        return [g for g in self.groups if g.disk_index == disk_index]
+        if not (0 <= disk_index < self.ndisks):
+            return []
+        return list(self._groups_by_disk[disk_index])
 
     # -- allocation ---------------------------------------------------------
     def allocate_in_group(
@@ -104,6 +113,7 @@ class FreeSpaceManager:
             use_hint = hint if gi == group_index else None
             try:
                 start, got = group.allocate(count, hint=use_hint, minimum=minimum)
+                self._free_total -= got
                 self.metrics.incr("fsm.allocations")
                 self.metrics.incr("fsm.blocks_allocated", got)
                 self.metrics.observe("fsm.alloc_run_blocks", got)
@@ -138,20 +148,40 @@ class FreeSpaceManager:
                 f"exact allocation [{start}, {start + count}) crosses group boundary"
             )
         group.allocate_exact(start, count)
+        self._free_total -= count
         self.metrics.incr("fsm.allocations")
         self.metrics.incr("fsm.blocks_allocated", count)
 
     def free(self, start: int, count: int) -> None:
         """Free [start, start+count); may span group boundaries."""
-        remaining = count
+        if count <= 0:
+            return
+        if start < 0 or start + count > self.total_blocks:
+            raise AllocationError(
+                f"free [{start}, {start + count}) outside array of "
+                f"{self.total_blocks} blocks"
+            )
+        # Pre-split the range on group boundaries arithmetically: groups tile
+        # the global space, so the covered groups are a contiguous index run.
+        gs = self._group_size
+        first = start // gs
+        last = (start + count - 1) // gs
         cursor = start
-        while remaining > 0:
-            group = self.group_of(cursor)
-            chunk = min(remaining, group.end - cursor)
+        for gi in range(first, last + 1):
+            group = self.groups[gi]
+            chunk = min(start + count, group.end) - cursor
             group.release(cursor, chunk)
-            self.metrics.incr("fsm.blocks_freed", chunk)
             cursor += chunk
-            remaining -= chunk
+        self._free_total += count
+        self.metrics.incr("fsm.blocks_freed", count)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "fsm",
+                "free",
+                start=start,
+                count=count,
+                groups=last - first + 1,
+            )
 
     def _fallback_order(self, group_index: int) -> list[int]:
         if not (0 <= group_index < len(self.groups)):

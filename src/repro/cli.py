@@ -15,6 +15,7 @@ import sys
 
 from repro import __version__
 from repro.bench import baseline as bench_baseline
+from repro.core import parallel
 from repro.core.run import run as run_experiment
 from repro.core.run import runner_names
 from repro.core.runners import interference_claim, prealloc_waste
@@ -58,6 +59,15 @@ def _positive_int(text: str) -> int:
 NAMED_SCALES = {"smoke": 0.05}
 
 
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--jobs`` option for parallel-sweep runners."""
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help="worker processes for independent sweep cells (default: "
+        f"${parallel.JOBS_ENV} or 1); results are identical at any value",
+    )
+
+
 def _scale(text: str) -> float:
     if text in NAMED_SCALES:
         return NAMED_SCALES[text]
@@ -89,31 +99,37 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig6a", help="Fig 6(a): throughput vs stream count")
     p.add_argument("--scale", type=_scale, default=1.0)
     p.add_argument("--seed", type=int, default=0)
+    _add_jobs(p)
     p.set_defaults(func=cmd_fig6a)
 
     p = sub.add_parser("fig6b", help="Fig 6(b): throughput vs request size")
     p.add_argument("--scale", type=_scale, default=1.0)
     p.add_argument("--seed", type=int, default=0)
+    _add_jobs(p)
     p.set_defaults(func=cmd_fig6b)
 
     p = sub.add_parser("fig7", help="Fig 7: IOR2/BTIO macro benchmarks")
     p.add_argument("--scale", type=_scale, default=1.0)
     p.add_argument("--seed", type=int, default=0)
+    _add_jobs(p)
     p.set_defaults(func=cmd_fig7)
 
     p = sub.add_parser("table1", help="Table I: extents and MDS CPU")
     p.add_argument("--scale", type=_scale, default=1.0)
     p.add_argument("--seed", type=int, default=0)
+    _add_jobs(p)
     p.set_defaults(func=cmd_table1)
 
     p = sub.add_parser("fig8", help="Fig 8: Metarates metadata benchmark")
     p.add_argument("--scale", type=_scale, default=0.2)
     p.add_argument("--seed", type=int, default=0)
+    _add_jobs(p)
     p.set_defaults(func=cmd_fig8)
 
     p = sub.add_parser("fig9", help="Fig 9: file system aging")
     p.add_argument("--scale", type=_scale, default=0.5)
     p.add_argument("--seed", type=int, default=0)
+    _add_jobs(p)
     p.set_defaults(func=cmd_fig9)
 
     p = sub.add_parser("fig10", help="Fig 10: PostMark and applications")
@@ -178,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--seed", type=int, default=bench_baseline.PINNED_SEED)
     b.add_argument("--layouts", action="store_true",
                    help="also write LAYOUT_<name>.txt report/heatmap artifacts")
+    _add_jobs(b)
     b.set_defaults(func=cmd_bench_run)
     b = bench_sub.add_parser(
         "compare",
@@ -193,7 +210,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated runner names")
     b.add_argument("--scale", type=_scale, default=bench_baseline.PINNED_SCALE)
     b.add_argument("--seed", type=int, default=bench_baseline.PINNED_SEED)
+    _add_jobs(b)
     b.set_defaults(func=cmd_bench_compare)
+
+    p = sub.add_parser(
+        "perf",
+        help="wall-clock the fig7 sweep: legacy vs batched vs parallel "
+        "execution (results must be identical; exit 1 if not)",
+    )
+    p.add_argument("--scale", type=_scale, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    _add_jobs(p)
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also write the timing report as JSON to PATH")
+    p.set_defaults(func=cmd_perf)
 
     p = sub.add_parser(
         "microbench", help="one-off shared-file run with a layout map"
@@ -252,7 +282,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def cmd_fig6a(args) -> int:
     result = run_experiment(
-        "fig6a", scale=args.scale, seed=args.seed, stream_counts=(32, 48, 64)
+        "fig6a", scale=args.scale, seed=args.seed, stream_counts=(32, 48, 64),
+        jobs=args.jobs,
     ).payload
     table = Table(
         "Fig 6(a) — phase-2 throughput (MiB/s) vs stream count",
@@ -273,7 +304,9 @@ def cmd_fig6a(args) -> int:
 
 
 def cmd_fig6b(args) -> int:
-    result = run_experiment("fig6b", scale=args.scale, seed=args.seed).payload
+    result = run_experiment(
+        "fig6b", scale=args.scale, seed=args.seed, jobs=args.jobs
+    ).payload
     table = Table(
         "Fig 6(b) — phase-2 throughput (MiB/s) vs phase-1 request size",
         ["request KiB", "reservation", "static", "ondemand"],
@@ -292,7 +325,9 @@ def cmd_fig6b(args) -> int:
 
 
 def cmd_fig7(args) -> int:
-    result = run_experiment("fig7", scale=args.scale, seed=args.seed).payload
+    result = run_experiment(
+        "fig7", scale=args.scale, seed=args.seed, jobs=args.jobs
+    ).payload
     table = Table(
         "Fig 7 — macro-benchmark throughput (MiB/s)",
         ["app", "mode", "reservation", "ondemand", "gain"],
@@ -315,7 +350,9 @@ def cmd_fig7(args) -> int:
 
 
 def cmd_table1(args) -> int:
-    result = run_experiment("table1", scale=args.scale, seed=args.seed).payload
+    result = run_experiment(
+        "table1", scale=args.scale, seed=args.seed, jobs=args.jobs
+    ).payload
     table = Table(
         "Table I — extents and MDS CPU (non-collective)",
         ["mode", "app", "seg counts", "CPU"],
@@ -329,7 +366,9 @@ def cmd_table1(args) -> int:
 
 
 def cmd_fig8(args) -> int:
-    result = run_experiment("fig8", scale=args.scale, seed=args.seed).payload
+    result = run_experiment(
+        "fig8", scale=args.scale, seed=args.seed, jobs=args.jobs
+    ).payload
     table = Table(
         "Fig 8 — Metarates (ops/s; proportion = MDS disk requests mif/orig)",
         ["workload", "redbud-orig", "lustre", "redbud-mif", "gain", "proportion"],
@@ -360,7 +399,8 @@ def cmd_fig8(args) -> int:
 
 def cmd_fig9(args) -> int:
     result = run_experiment(
-        "fig9", scale=args.scale, seed=args.seed, utilizations=(0.0, 0.4, 0.8)
+        "fig9", scale=args.scale, seed=args.seed, utilizations=(0.0, 0.4, 0.8),
+        jobs=args.jobs,
     ).payload
     table = Table(
         "Fig 9 — aging impact (ops/s)",
@@ -456,7 +496,8 @@ def cmd_bench_run(args) -> int:
     names = [n.strip() for n in args.names.split(",") if n.strip()]
     os.makedirs(args.out_dir, exist_ok=True)
     for name in names:
-        result = run_experiment(name, scale=args.scale, seed=args.seed)
+        kwargs = {} if args.jobs is None else {"jobs": args.jobs}
+        result = run_experiment(name, scale=args.scale, seed=args.seed, **kwargs)
         doc = bench_baseline.render(result, scale=args.scale, seed=args.seed)
         path = os.path.join(args.out_dir, bench_baseline.baseline_filename(name))
         with open(path, "w", encoding="utf-8") as fh:
@@ -492,7 +533,7 @@ def cmd_bench_compare(args) -> int:
             current = bench_baseline.load(cur_path)
         else:
             current = bench_baseline.collect(
-                name, scale=args.scale, seed=args.seed
+                name, scale=args.scale, seed=args.seed, jobs=args.jobs
             )
         regressions = bench_baseline.compare(baseline, current)
         if regressions:
@@ -549,6 +590,33 @@ def cmd_trace(args) -> int:
             f"max={h.maximum:.2e}"
         )
     return 0
+
+
+def cmd_perf(args) -> int:
+    from repro.bench.perf import measure, save_report
+
+    report = measure(scale=args.scale, seed=args.seed, jobs=args.jobs)
+    table = Table(
+        f"Execution strategies — {report.runner} sweep "
+        f"(scale={report.scale}, jobs={report.jobs})",
+        ["mode", "wall-clock (s)", "speedup vs legacy"],
+    )
+    table.add_row(["legacy (no batching, scalar disks)", f"{report.legacy_s:.2f}", "1.00x"])
+    table.add_row(["batched + vectorized, serial", f"{report.batched_s:.2f}",
+                   f"{report.batched_speedup:.2f}x"])
+    table.add_row([f"batched + vectorized, {report.jobs} workers",
+                   f"{report.parallel_s:.2f}", f"{report.parallel_speedup:.2f}x"])
+    table.print()
+    print()
+    if report.identical:
+        print(f"all three modes rendered identical documents "
+              f"(fingerprint {report.fingerprint})")
+    else:
+        print("MISMATCH: execution modes rendered different documents")
+    if args.out:
+        save_report(report, args.out)
+        print(f"wrote timing report to {args.out}")
+    return 0 if report.identical else 1
 
 
 def cmd_microbench(args) -> int:

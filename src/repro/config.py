@@ -256,6 +256,15 @@ class FSConfig:
     #: CPU time the MDS spends per extent handled (merging/indexing); the
     #: source of Table I's CPU-utilization column.
     mds_cpu_s_per_extent: float = 0.00002
+    #: Batch the data path: group dlocal-contiguous same-PAG segments into
+    #: one policy call and coalesce physically adjacent requests before
+    #: submission (PVFS list-I/O style).  Off = the per-segment legacy path,
+    #: kept for the perf runner's baseline comparison.
+    io_batching: bool = True
+    #: Use the numpy batch service-time model inside each disk.  Off = the
+    #: scalar per-request oracle path (same results, slower); kept for the
+    #: perf runner's baseline comparison.
+    vectorized_disks: bool = True
 
     def __post_init__(self) -> None:
         if self.ndisks <= 0:

@@ -1,0 +1,100 @@
+"""Deterministic parallel execution of independent runner cells.
+
+A *cell* is one independent unit of a sweep — one (stream count, policy)
+point of fig6a, one (app, policy, collective) run of fig7, one profile of
+the metarates suite.  Cells share no mutable state: each builds its own
+file system instances, seeds its own RNG from the cell spec, and records
+into its own :class:`~repro.sim.metrics.Metrics` bag, returning everything
+in a picklable :class:`CellResult`.
+
+:func:`run_cells` maps a cell function over cell specs, optionally in a
+process pool, with a determinism contract modelled on pFSCK's worker
+pools:
+
+- **Independence** — a cell function must derive all randomness from its
+  spec (scale/seed/parameters) and touch nothing outside its own state, so
+  executing it in any process at any time yields the same result.
+- **Ordered merge** — results are returned (and must be merged) in
+  *submission* order, never completion order.  Counters and histogram
+  buckets merge by exact integer addition, so the merged books — and every
+  rendered BENCH document — are byte-identical to a serial run.
+- **Serial fallback** — ``jobs=1`` (the default), a single cell, or an
+  enabled tracer (trace buffers cannot cross process boundaries) all run
+  the plain list comprehension in-process; the parallel path is purely an
+  execution-time optimization.
+
+``jobs`` resolution: an explicit argument wins, else the ``REPRO_JOBS``
+environment variable, else 1.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, TypeVar
+
+from repro.errors import ConfigError
+from repro.obs.layout import LayoutReport
+from repro.sim.metrics import MetricsSnapshot, ThroughputResult
+
+#: Environment variable supplying the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+S = TypeVar("S")
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Picklable outcome of one runner cell.
+
+    ``phases`` and ``layouts`` use the same label conventions as
+    :class:`~repro.core.run.RunResult`; ``metrics`` is the cell's whole
+    (full-history) snapshot, ready for :meth:`Metrics.absorb`; ``payload``
+    carries whatever figure-specific values the runner needs to assemble
+    its result.
+    """
+
+    phases: dict[str, ThroughputResult] = field(default_factory=dict)
+    layouts: dict[str, LayoutReport] = field(default_factory=dict)
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot)
+    payload: Any = None
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Effective worker count: explicit ``jobs``, else ``REPRO_JOBS``, else 1."""
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ConfigError(f"{JOBS_ENV} must be an integer: {raw!r}") from None
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1: {jobs}")
+    return jobs
+
+
+def run_cells(
+    cells: Sequence[S],
+    fn: Callable[..., Any],
+    jobs: int | None = None,
+    tracer: Any = None,
+) -> list[Any]:
+    """``[fn(cell) for cell in cells]``, possibly in worker processes.
+
+    ``fn`` must be a module-level callable of signature
+    ``fn(spec, tracer=None)`` and every spec must be picklable.  Results
+    come back in submission order regardless of completion order.  With an
+    enabled tracer the map runs serially in-process (passing the tracer
+    through), since trace ring buffers cannot be shared with workers.
+    """
+    n = resolve_jobs(jobs)
+    traced = tracer is not None and getattr(tracer, "enabled", False)
+    if n <= 1 or len(cells) <= 1 or traced:
+        return [fn(cell, tracer) for cell in cells]
+    with ProcessPoolExecutor(max_workers=min(n, len(cells))) as pool:
+        futures = [pool.submit(fn, cell) for cell in cells]
+        return [f.result() for f in futures]

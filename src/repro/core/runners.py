@@ -17,9 +17,10 @@ timeline so event timestamps stay monotone within a sub-run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.config import FSConfig
+from repro.core.parallel import CellResult, run_cells
 from repro.core.run import RunResult, fingerprint, register
 from repro.disk.model import BlockRequest
 from repro.errors import CrashError, LatentSectorError
@@ -54,12 +55,15 @@ def _scaled(value: int, scale: float, floor: int = 1) -> int:
     return max(floor, int(value * scale))
 
 
-class _Run:
-    """Shared per-run context: metrics bag, tracer, phase records."""
+class _Context:
+    """Metrics bag + tracer + phase/capture helpers.
 
-    def __init__(self, name: str, trace, **kwargs) -> None:
-        self.name = name
-        self.fingerprint = fingerprint(name, **kwargs)
+    Base for both the whole-run context (:class:`_Run`) and the per-cell
+    context (:class:`_Cell`); each owns a private metrics bag so sweep
+    cells stay independent and merge deterministically in submission order.
+    """
+
+    def __init__(self, trace) -> None:
         self.metrics = Metrics()
         self.tracer = coerce_tracer(trace)
         self.phases: dict[str, ThroughputResult] = {}
@@ -104,6 +108,22 @@ class _Run:
         self.layouts[tag] = report
         return report
 
+
+class _Run(_Context):
+    """Whole-run context: fingerprint plus merged cell results."""
+
+    def __init__(self, name: str, trace, **kwargs) -> None:
+        super().__init__(trace)
+        self.name = name
+        self.fingerprint = fingerprint(name, **kwargs)
+
+    def absorb(self, cell: CellResult) -> None:
+        """Merge one cell's phases/layouts/metrics (call in submission
+        order; see the determinism contract in :mod:`repro.core.parallel`)."""
+        self.phases.update(cell.phases)
+        self.layouts.update(cell.layouts)
+        self.metrics.absorb(cell.metrics)
+
     def result(self, payload) -> RunResult:
         return RunResult(
             name=self.name,
@@ -113,6 +133,18 @@ class _Run:
             payload=payload,
             trace=self.tracer if isinstance(self.tracer, Tracer) else None,
             layouts=self.layouts,
+        )
+
+
+class _Cell(_Context):
+    """One sweep cell's context; its ``result`` is picklable for workers."""
+
+    def result(self, payload=None) -> CellResult:
+        return CellResult(
+            phases=self.phases,
+            layouts=self.layouts,
+            metrics=self.metrics.snapshot(),
+            payload=payload,
         )
 
 
@@ -133,6 +165,27 @@ class Fig6aResult:
         return self.throughput[other][n] / self.throughput[base][n] - 1.0
 
 
+def _fig6a_cell(spec, tracer=None) -> CellResult:
+    """One (stream count, policy) point of Fig. 6(a)."""
+    scale, seed, ndisks, n, policy = spec
+    cell = _Cell(tracer)
+    file_bytes = _scaled(192 * MiB, scale, floor=16 * MiB)
+    cfg = with_alloc_policy(redbud_vanilla_profile(ndisks=ndisks), policy)
+    plane = cell.plane(cfg)
+    bench = SharedFileMicrobench(
+        nstreams=n,
+        file_bytes=file_bytes - file_bytes % n,
+        write_request_bytes=16 * KiB,
+        seed=seed,
+    )
+    f = bench.create_shared_file(plane)
+    cell.phase(f"write:{policy}:n{n}", bench.phase1_write(plane, f))
+    plane.close_file(f)
+    result = cell.phase(f"read:{policy}:n{n}", bench.phase2_read(plane, f))
+    cell.capture(f"{policy}:n{n}", plane, region_bytes=bench.region_bytes)
+    return cell.result((result.mib_per_s, f.extent_count))
+
+
 @register("fig6a")
 def micro_stream_count(
     *,
@@ -142,6 +195,7 @@ def micro_stream_count(
     stream_counts: tuple[int, ...] = (32, 48, 64),
     policies: tuple[str, ...] = ("reservation", "static", "ondemand"),
     ndisks: int = 5,
+    jobs: int | None = None,
 ) -> RunResult:
     """Fig. 6(a): on-demand beats reservation by a margin growing with the
     stream count; static (fallocate) is the contiguous upper bound."""
@@ -149,26 +203,19 @@ def micro_stream_count(
         "fig6a", trace, scale=scale, seed=seed,
         stream_counts=stream_counts, policies=policies, ndisks=ndisks,
     )
-    file_bytes = _scaled(192 * MiB, scale, floor=16 * MiB)
     throughput: dict[str, dict[int, float]] = {p: {} for p in policies}
     extents: dict[str, dict[int, int]] = {p: {} for p in policies}
-    for n in stream_counts:
-        for policy in policies:
-            cfg = with_alloc_policy(redbud_vanilla_profile(ndisks=ndisks), policy)
-            plane = run.plane(cfg)
-            bench = SharedFileMicrobench(
-                nstreams=n,
-                file_bytes=file_bytes - file_bytes % n,
-                write_request_bytes=16 * KiB,
-                seed=seed,
-            )
-            f = bench.create_shared_file(plane)
-            run.phase(f"write:{policy}:n{n}", bench.phase1_write(plane, f))
-            plane.close_file(f)
-            result = run.phase(f"read:{policy}:n{n}", bench.phase2_read(plane, f))
-            run.capture(f"{policy}:n{n}", plane, region_bytes=bench.region_bytes)
-            throughput[policy][n] = result.mib_per_s
-            extents[policy][n] = f.extent_count
+    specs = [
+        (scale, seed, ndisks, n, policy)
+        for n in stream_counts
+        for policy in policies
+    ]
+    for spec, cell in zip(
+        specs, run_cells(specs, _fig6a_cell, jobs=jobs, tracer=run.tracer)
+    ):
+        run.absorb(cell)
+        n, policy = spec[3], spec[4]
+        throughput[policy][n], extents[policy][n] = cell.payload
     return run.result(Fig6aResult(list(stream_counts), throughput, extents))
 
 
@@ -184,6 +231,27 @@ class Fig6bResult:
     throughput: dict[str, dict[int, float]]  # policy -> bytes -> MiB/s
 
 
+def _fig6b_cell(spec, tracer=None) -> CellResult:
+    """One (request size, policy) point of Fig. 6(b)."""
+    scale, seed, ndisks, nstreams, size, policy = spec
+    cell = _Cell(tracer)
+    file_bytes = _scaled(192 * MiB, scale, floor=16 * MiB)
+    cfg = with_alloc_policy(redbud_vanilla_profile(ndisks=ndisks), policy)
+    plane = cell.plane(cfg)
+    bench = SharedFileMicrobench(
+        nstreams=nstreams,
+        file_bytes=file_bytes - file_bytes % nstreams,
+        write_request_bytes=size,
+        seed=seed,
+    )
+    f = bench.create_shared_file(plane)
+    cell.phase(f"write:{policy}:req{size}", bench.phase1_write(plane, f))
+    plane.close_file(f)
+    result = cell.phase(f"read:{policy}:req{size}", bench.phase2_read(plane, f))
+    cell.capture(f"{policy}:req{size}", plane, region_bytes=bench.region_bytes)
+    return cell.result(result.mib_per_s)
+
+
 @register("fig6b")
 def micro_request_size(
     *,
@@ -194,6 +262,7 @@ def micro_request_size(
     policies: tuple[str, ...] = ("reservation", "static", "ondemand"),
     nstreams: int = 32,
     ndisks: int = 5,
+    jobs: int | None = None,
 ) -> RunResult:
     """Fig. 6(b): small allocation sizes leave reservation placement
     unmergeable on disk; on-demand mitigates the interference."""
@@ -201,28 +270,18 @@ def micro_request_size(
         "fig6b", trace, scale=scale, seed=seed, request_sizes=request_sizes,
         policies=policies, nstreams=nstreams, ndisks=ndisks,
     )
-    file_bytes = _scaled(192 * MiB, scale, floor=16 * MiB)
     throughput: dict[str, dict[int, float]] = {p: {} for p in policies}
-    for size in request_sizes:
-        for policy in policies:
-            cfg = with_alloc_policy(redbud_vanilla_profile(ndisks=ndisks), policy)
-            plane = run.plane(cfg)
-            bench = SharedFileMicrobench(
-                nstreams=nstreams,
-                file_bytes=file_bytes - file_bytes % nstreams,
-                write_request_bytes=size,
-                seed=seed,
-            )
-            f = bench.create_shared_file(plane)
-            run.phase(f"write:{policy}:req{size}", bench.phase1_write(plane, f))
-            plane.close_file(f)
-            result = run.phase(
-                f"read:{policy}:req{size}", bench.phase2_read(plane, f)
-            )
-            run.capture(
-                f"{policy}:req{size}", plane, region_bytes=bench.region_bytes
-            )
-            throughput[policy][size] = result.mib_per_s
+    specs = [
+        (scale, seed, ndisks, nstreams, size, policy)
+        for size in request_sizes
+        for policy in policies
+    ]
+    for spec, cell in zip(
+        specs, run_cells(specs, _fig6b_cell, jobs=jobs, tracer=run.tracer)
+    ):
+        run.absorb(cell)
+        size, policy = spec[4], spec[5]
+        throughput[policy][size] = cell.payload
     return run.result(Fig6bResult(list(request_sizes), throughput))
 
 
@@ -251,6 +310,54 @@ class Fig7Result:
         raise KeyError((app, policy, collective))
 
 
+def _fig7_cell(spec, tracer=None) -> CellResult:
+    """One (collective, policy, app) macro-benchmark run of Fig. 7.
+
+    A truthy trailing spec element selects the legacy I/O path (no request
+    batching, scalar disk model) — same results, used only by the perf
+    harness as its wall-clock baseline.
+    """
+    scale, seed, ndisks, collective, policy, app, *rest = spec
+    del seed  # the macro benchmarks are deterministic; kept in the spec shape
+    cell = _Cell(tracer)
+    tag = f"{policy}:{'coll' if collective else 'indep'}"
+    cfg = with_alloc_policy(redbud_vanilla_profile(ndisks=ndisks), policy)
+    if rest and rest[0]:
+        cfg = replace(cfg, io_batching=False, vectorized_disks=False)
+    plane = cell.plane(cfg)
+    snap = cell.metrics.snapshot()
+    if app == "IOR":
+        ior_bytes = _scaled(256 * MiB, scale, floor=64 * MiB)
+        ior = IORBenchmark(
+            nprocs=64,
+            file_bytes=ior_bytes - ior_bytes % 64,
+            request_bytes=64 * KiB,
+            collective=collective,
+        )
+        f = ior.create_file(plane)
+        w = cell.phase(f"write:IOR:{tag}", ior.write_phase(plane, f))
+        plane.close_file(f)
+        r = cell.phase(f"read:IOR:{tag}", ior.read_phase(plane, f))
+        cell.capture(f"IOR:{tag}", plane, region_bytes=ior.file_bytes // ior.nprocs)
+    else:
+        # BTIO's strided-row pattern changes regime if rows shrink under the
+        # drive's skip-merge range, so the per-proc step never scales below
+        # 256 KiB (two sub-runs).
+        bt_step = _scaled(512 * KiB, scale, floor=256 * KiB)
+        bt = BTIOBenchmark(
+            nprocs=64,
+            step_bytes_per_proc=bt_step,
+            steps=4,
+            collective=collective,
+        )
+        f = bt.create_file(plane)
+        w = cell.phase(f"write:BTIO:{tag}", bt.write_phase(plane, f))
+        plane.close_file(f)
+        r = cell.phase(f"read:BTIO:{tag}", bt.read_phase(plane, f))
+        cell.capture(f"BTIO:{tag}", plane)
+    return cell.result(_macro_run(app, policy, collective, cfg, cell, snap, f, w, r))
+
+
 @register("fig7")
 def macro_benchmarks(
     *,
@@ -260,57 +367,29 @@ def macro_benchmarks(
     policies: tuple[str, ...] = ("reservation", "ondemand"),
     collectives: tuple[bool, ...] = (False, True),
     ndisks: int = 8,
+    jobs: int | None = None,
+    legacy_io: bool = False,
 ) -> RunResult:
     """Fig. 7: IOR2 and BTIO under reservation vs on-demand, with and
-    without collective I/O (paper: 16 nodes × 4 cores, 8 disks)."""
+    without collective I/O (paper: 16 nodes × 4 cores, 8 disks).
+
+    ``legacy_io`` and ``jobs`` change only execution strategy, never the
+    result, so neither participates in the fingerprint.
+    """
     run = _Run(
         "fig7", trace, scale=scale, seed=seed, policies=policies,
         collectives=collectives, ndisks=ndisks,
     )
     payload = Fig7Result()
-    ior_bytes = _scaled(256 * MiB, scale, floor=64 * MiB)
-    # BTIO's strided-row pattern changes regime if rows shrink under the
-    # drive's skip-merge range, so the per-proc step never scales below
-    # 256 KiB (two sub-runs).
-    bt_step = _scaled(512 * KiB, scale, floor=256 * KiB)
-    for collective in collectives:
-        for policy in policies:
-            tag = f"{policy}:{'coll' if collective else 'indep'}"
-            cfg = with_alloc_policy(redbud_vanilla_profile(ndisks=ndisks), policy)
-            plane = run.plane(cfg)
-            snap = run.metrics.snapshot()
-            ior = IORBenchmark(
-                nprocs=64,
-                file_bytes=ior_bytes - ior_bytes % 64,
-                request_bytes=64 * KiB,
-                collective=collective,
-            )
-            f = ior.create_file(plane)
-            w = run.phase(f"write:IOR:{tag}", ior.write_phase(plane, f))
-            plane.close_file(f)
-            r = run.phase(f"read:IOR:{tag}", ior.read_phase(plane, f))
-            run.capture(f"IOR:{tag}", plane, region_bytes=ior.file_bytes // ior.nprocs)
-            payload.runs.append(
-                _macro_run("IOR", policy, collective, cfg, run, snap, f, w, r)
-            )
-
-            cfg = with_alloc_policy(redbud_vanilla_profile(ndisks=ndisks), policy)
-            plane = run.plane(cfg)
-            snap = run.metrics.snapshot()
-            bt = BTIOBenchmark(
-                nprocs=64,
-                step_bytes_per_proc=bt_step,
-                steps=4,
-                collective=collective,
-            )
-            f = bt.create_file(plane)
-            w = run.phase(f"write:BTIO:{tag}", bt.write_phase(plane, f))
-            plane.close_file(f)
-            r = run.phase(f"read:BTIO:{tag}", bt.read_phase(plane, f))
-            run.capture(f"BTIO:{tag}", plane)
-            payload.runs.append(
-                _macro_run("BTIO", policy, collective, cfg, run, snap, f, w, r)
-            )
+    specs = [
+        (scale, seed, ndisks, collective, policy, app, legacy_io)
+        for collective in collectives
+        for policy in policies
+        for app in ("IOR", "BTIO")
+    ]
+    for cell in run_cells(specs, _fig7_cell, jobs=jobs, tracer=run.tracer):
+        run.absorb(cell)
+        payload.runs.append(cell.payload)
     return run.result(payload)
 
 
@@ -319,7 +398,7 @@ def _macro_run(
     policy: str,
     collective: bool,
     cfg: FSConfig,
-    run: _Run,
+    run: _Context,
     snap: MetricsSnapshot,
     f,
     w: ThroughputResult,
@@ -363,12 +442,13 @@ def table1_segments(
     trace: Tracer | NullTracer | bool | None = None,
     policies: tuple[str, ...] = ("vanilla", "reservation", "ondemand"),
     ndisks: int = 8,
+    jobs: int | None = None,
 ) -> RunResult:
     """Table I: extents and MDS CPU for Vanilla/Reservation/On-demand on
     the non-collective IOR and BTIO runs."""
     base = macro_benchmarks(
         scale=scale, seed=seed, trace=trace,
-        policies=policies, collectives=(False,), ndisks=ndisks,
+        policies=policies, collectives=(False,), ndisks=ndisks, jobs=jobs,
     )
     return RunResult(
         name="table1",
@@ -414,6 +494,49 @@ class Fig8Result:
         return o / b if b else float("inf")
 
 
+def _fig8_profile_cell(spec, tracer=None) -> CellResult:
+    """All four metarates workloads against one profile's MDS."""
+    scale, cfg = spec
+    cell = _Cell(tracer)
+    files_per_dir = _scaled(5000, scale, floor=200)
+    wl = MetaratesWorkload(nclients=10, files_per_dir=files_per_dir)
+    mds = cell.mds(cfg)
+    dirs = wl.setup_dirs(mds)
+    runs: list[MetaRun] = []
+    for name, fn in (
+        ("create", wl.run_create),
+        ("utime", wl.run_utime),
+        ("readdir-stat", wl.run_readdir_stat),
+        ("delete", wl.run_delete),
+    ):
+        if name == "delete":  # snapshot the populated namespace first
+            cell.capture(cfg.name, mds)
+        mds.drop_caches()
+        snap = cell.metrics.snapshot()
+        result = cell.phase(f"{name}:{cfg.name}", fn(mds, dirs))
+        requests = cell.metrics.since(snap).count("disk.requests")
+        runs.append(MetaRun(cfg.name, name, result.ops_per_s, requests))
+    return cell.result(runs)
+
+
+def _fig8_dirsize_cell(spec, tracer=None) -> CellResult:
+    """readdir-stat disk-request proportion for one directory size."""
+    (size,) = spec
+    cell = _Cell(tracer)
+    counts: dict[str, int] = {}
+    for cfg in (redbud_vanilla_profile(), redbud_mif_profile()):
+        mds = cell.mds(cfg)
+        wl = MetaratesWorkload(nclients=2, files_per_dir=size)
+        dirs = wl.setup_dirs(mds)
+        wl.run_create(mds, dirs)
+        mds.drop_caches()
+        snap = cell.metrics.snapshot()
+        wl.run_readdir_stat(mds, dirs)
+        counts[cfg.name] = cell.metrics.since(snap).count("disk.requests")
+    base = counts["redbud-orig"]
+    return cell.result(counts["redbud-mif"] / base if base else float("inf"))
+
+
 @register("fig8")
 def metarates_suite(
     *,
@@ -422,6 +545,7 @@ def metarates_suite(
     trace: Tracer | NullTracer | bool | None = None,
     profiles: tuple[FSConfig, ...] | None = None,
     dir_sizes: tuple[int, ...] = (1000, 5000, 10000),
+    jobs: int | None = None,
 ) -> RunResult:
     """Fig. 8: utime/create (a), delete (b) and readdir-stat (c) throughput
     and disk-access counts, plus the dir-size sweep for readdir-stat."""
@@ -432,45 +556,23 @@ def metarates_suite(
     )
     if profiles is None:
         profiles = (redbud_vanilla_profile(), lustre_profile(), redbud_mif_profile())
-    files_per_dir = _scaled(5000, scale, floor=200)
-    wl = MetaratesWorkload(nclients=10, files_per_dir=files_per_dir)
     payload = Fig8Result()
-    for cfg in profiles:
-        mds = run.mds(cfg)
-        dirs = wl.setup_dirs(mds)
-        for name, fn in (
-            ("create", wl.run_create),
-            ("utime", wl.run_utime),
-            ("readdir-stat", wl.run_readdir_stat),
-            ("delete", wl.run_delete),
-        ):
-            if name == "delete":  # snapshot the populated namespace first
-                run.capture(cfg.name, mds)
-            mds.drop_caches()
-            snap = run.metrics.snapshot()
-            result = run.phase(f"{name}:{cfg.name}", fn(mds, dirs))
-            requests = run.metrics.since(snap).count("disk.requests")
-            payload.runs.append(
-                MetaRun(cfg.name, name, result.ops_per_s, requests)
-            )
+    profile_specs = [(scale, cfg) for cfg in profiles]
+    for cell in run_cells(
+        profile_specs, _fig8_profile_cell, jobs=jobs, tracer=run.tracer
+    ):
+        run.absorb(cell)
+        payload.runs.extend(cell.payload)
     # readdir-stat proportion vs directory size (§V.D.1's prefetch effect).
     # Absolute directory sizes on purpose: the effect *is* the size trend,
     # so rescaling it away would leave quantization noise.
-    for size in dir_sizes:
-        counts: dict[str, int] = {}
-        for cfg in (redbud_vanilla_profile(), redbud_mif_profile()):
-            mds = run.mds(cfg)
-            wl2 = MetaratesWorkload(nclients=2, files_per_dir=size)
-            dirs = wl2.setup_dirs(mds)
-            wl2.run_create(mds, dirs)
-            mds.drop_caches()
-            snap = run.metrics.snapshot()
-            wl2.run_readdir_stat(mds, dirs)
-            counts[cfg.name] = run.metrics.since(snap).count("disk.requests")
-        base = counts["redbud-orig"]
-        payload.rdstat_proportion_by_size[size] = (
-            counts["redbud-mif"] / base if base else float("inf")
-        )
+    size_specs = [(size,) for size in dir_sizes]
+    for (size,), cell in zip(
+        size_specs,
+        run_cells(size_specs, _fig8_dirsize_cell, jobs=jobs, tracer=run.tracer),
+    ):
+        run.absorb(cell)
+        payload.rdstat_proportion_by_size[size] = cell.payload
     return run.result(payload)
 
 
@@ -497,6 +599,25 @@ class AgingResult:
         raise KeyError((profile, utilization))
 
 
+def _fig9_cell(spec, tracer=None) -> CellResult:
+    """Create/delete throughput for one (profile, utilization) point."""
+    scale, seed, cfg, util = spec
+    cell = _Cell(tracer)
+    files_per_dir = _scaled(1000, scale, floor=100)
+    wl = MetaratesWorkload(nclients=10, files_per_dir=files_per_dir)
+    mds = cell.mds(cfg)
+    if util > 0.0:
+        age_metadata_fs(mds, util, seed=seed)
+    dirs = wl.setup_dirs(mds)
+    mds.drop_caches()
+    created = cell.phase(f"create:{cfg.name}:u{util}", wl.run_create(mds, dirs))
+    cell.capture(f"{cfg.name}:u{util}", mds)
+    deleted = cell.phase(f"delete:{cfg.name}:u{util}", wl.run_delete(mds, dirs))
+    return cell.result(
+        AgingRun(cfg.name, util, created.ops_per_s, deleted.ops_per_s)
+    )
+
+
 @register("fig9")
 def aging_impact(
     *,
@@ -504,26 +625,20 @@ def aging_impact(
     seed: int = 0,
     trace: Tracer | NullTracer | bool | None = None,
     utilizations: tuple[float, ...] = (0.0, 0.4, 0.8),
+    jobs: int | None = None,
 ) -> RunResult:
     """Fig. 9: create/delete throughput after aging the MFS to each
     utilization (embedded creation drops hardest; deletion barely moves)."""
     run = _Run("fig9", trace, scale=scale, seed=seed, utilizations=utilizations)
-    files_per_dir = _scaled(1000, scale, floor=100)
-    wl = MetaratesWorkload(nclients=10, files_per_dir=files_per_dir)
     payload = AgingResult()
-    for cfg in (redbud_vanilla_profile(), lustre_profile(), redbud_mif_profile()):
-        for util in utilizations:
-            mds = run.mds(cfg)
-            if util > 0.0:
-                age_metadata_fs(mds, util, seed=seed)
-            dirs = wl.setup_dirs(mds)
-            mds.drop_caches()
-            created = run.phase(f"create:{cfg.name}:u{util}", wl.run_create(mds, dirs))
-            run.capture(f"{cfg.name}:u{util}", mds)
-            deleted = run.phase(f"delete:{cfg.name}:u{util}", wl.run_delete(mds, dirs))
-            payload.runs.append(
-                AgingRun(cfg.name, util, created.ops_per_s, deleted.ops_per_s)
-            )
+    specs = [
+        (scale, seed, cfg, util)
+        for cfg in (redbud_vanilla_profile(), lustre_profile(), redbud_mif_profile())
+        for util in utilizations
+    ]
+    for cell in run_cells(specs, _fig9_cell, jobs=jobs, tracer=run.tracer):
+        run.absorb(cell)
+        payload.runs.append(cell.payload)
     return run.result(payload)
 
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.config import DiskParams, SchedulerParams
 from repro.disk.model import BlockRequest, ServiceTimeModel
 from repro.disk.scheduler import make_scheduler
@@ -28,9 +30,14 @@ class SimulatedDisk:
         metrics: Metrics | None = None,
         name: str = "disk",
         tracer: Tracer | NullTracer | None = None,
+        vectorized: bool = True,
     ) -> None:
         self.params = params
         self.name = name
+        #: Use the numpy batch path of :class:`ServiceTimeModel` for
+        #: multi-request batches.  Bit-identical to the scalar loop; the
+        #: flag exists so the perf runner can time both paths.
+        self.vectorized = vectorized
         self.metrics = metrics if metrics is not None else Metrics()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.model = ServiceTimeModel(params)
@@ -103,6 +110,8 @@ class SimulatedDisk:
         return total
 
     def _service(self, arranged, tracer: Tracer | NullTracer) -> float:
+        if self.vectorized and self.injector is None and len(arranged) > 1:
+            return self._service_vectorized(arranged, tracer)
         total = 0.0
         self._partial_s = 0.0
         for req in arranged:
@@ -139,6 +148,136 @@ class SimulatedDisk:
             else:
                 self.metrics.incr("disk.read_requests")
                 self.metrics.incr("disk.read_blocks", req.nblocks)
+        return total
+
+    def _service_vectorized(self, arranged, tracer: Tracer | NullTracer) -> float:
+        """Batch path: per-request times come from the numpy model, and the
+        pure counters are committed once per batch.  ``busy_s`` is folded in
+        request order (``np.add.accumulate`` is the same left-to-right IEEE
+        fold as the scalar loop), so phase timings match bit for bit; only
+        the unrendered positioning/transfer accumulators and histogram sums
+        pick up last-ulp pairwise-summation drift.
+
+        An enabled tracer needs one event per request anyway, so that case
+        keeps a per-request loop over the batch times.
+        """
+        self._partial_s = 0.0
+        n = len(arranged)
+        if not tracer.enabled:
+            starts = np.fromiter((r.start for r in arranged), dtype=np.int64, count=n)
+            nblocks = np.fromiter((r.nblocks for r in arranged), dtype=np.int64, count=n)
+            is_write = np.fromiter((r.is_write for r in arranged), dtype=bool, count=n)
+            return self._service_arrays(starts, nblocks, is_write)
+        positioning, transfer = self.model.time_batch(self._head, arranged)
+        pos = positioning.tolist()
+        tr = transfer.tolist()
+        metrics = self.metrics
+        total = 0.0
+        nblocks_total = 0
+        writes = 0
+        write_blocks = 0
+        positionings = 0
+        for i, req in enumerate(arranged):
+            dur = pos[i] + tr[i]
+            if tracer.enabled:
+                tracer.emit(
+                    "disk",
+                    "write" if req.is_write else "read",
+                    t=self._busy_s + total,
+                    dur=dur,
+                    disk=self.name,
+                    start=req.start,
+                    nblocks=req.nblocks,
+                    seek_s=pos[i],
+                    transfer_s=tr[i],
+                )
+            total += dur
+            self._partial_s = total
+            metrics.observe("disk.request_latency_s", dur)
+            metrics.observe("disk.request_blocks", req.nblocks)
+            metrics.add("disk.positioning_s", pos[i])
+            metrics.add("disk.transfer_s", tr[i])
+            if pos[i] > 0.0:
+                positionings += 1
+            nblocks_total += req.nblocks
+            if req.is_write:
+                writes += 1
+                write_blocks += req.nblocks
+        self._head = arranged[-1].end
+        n = len(arranged)
+        metrics.incr("disk.requests", n)
+        metrics.incr("disk.blocks", nblocks_total)
+        if positionings:
+            metrics.incr("disk.positionings", positionings)
+        if writes:
+            metrics.incr("disk.write_requests", writes)
+            metrics.incr("disk.write_blocks", write_blocks)
+        if writes < n:
+            metrics.incr("disk.read_requests", n - writes)
+            metrics.incr("disk.read_blocks", nblocks_total - write_blocks)
+        return total
+
+    def _service_arrays(
+        self, starts: np.ndarray, nblocks: np.ndarray, is_write: np.ndarray
+    ) -> float:
+        """Service an *arranged* batch given as parallel arrays.
+
+        The array core shared by the untraced :meth:`_service_vectorized`
+        branch and :meth:`submit_arrays`.  Sets ``_partial_s`` and the head;
+        the caller folds ``_partial_s`` into ``busy_s``.
+        """
+        n = starts.shape[0]
+        positioning, transfer = self.model.time_batch_arrays(self._head, starts, nblocks)
+        dur = positioning + transfer
+        total = float(np.add.accumulate(dur)[-1])
+        self._partial_s = total
+        self._head = int(starts[-1] + nblocks[-1])
+        metrics = self.metrics
+        metrics.observe_array("disk.request_latency_s", dur)
+        metrics.observe_array("disk.request_blocks", nblocks)
+        metrics.add("disk.positioning_s", float(positioning.sum()))
+        metrics.add("disk.transfer_s", float(transfer.sum()))
+        blocks_total = int(nblocks.sum())
+        metrics.incr("disk.requests", n)
+        metrics.incr("disk.blocks", blocks_total)
+        positionings = int(np.count_nonzero(positioning))
+        if positionings:
+            metrics.incr("disk.positionings", positionings)
+        writes = int(np.count_nonzero(is_write))
+        if writes:
+            write_blocks = int(nblocks[is_write].sum())
+            metrics.incr("disk.write_requests", writes)
+            metrics.incr("disk.write_blocks", write_blocks)
+        if writes < n:
+            read_blocks = blocks_total - (write_blocks if writes else 0)
+            metrics.incr("disk.read_requests", n - writes)
+            metrics.incr("disk.read_blocks", read_blocks)
+        return total
+
+    def submit_arrays(
+        self, starts: np.ndarray, nblocks: np.ndarray, is_write: np.ndarray
+    ) -> float:
+        """Array-path submit for the batched I/O pipeline.
+
+        Like :meth:`submit_batch` but the batch arrives as parallel
+        ``(starts, nblocks, is_write)`` arrays in arrival order and no
+        :class:`BlockRequest` objects exist at any point.  Caller contract
+        (enforced by :class:`~repro.disk.array.DiskArray`): requests are
+        pre-checked against capacity, the tracer is disabled, no fault
+        injector is attached, and the scheduler supports ``arrange_arrays``.
+        """
+        if starts.shape[0] == 0:
+            return 0.0
+        total = 0.0
+        self._partial_s = 0.0
+        try:
+            a_starts, a_nblocks, a_writes = self.scheduler.arrange_arrays(
+                starts, nblocks, is_write
+            )
+            total = self._service_arrays(a_starts, a_nblocks, a_writes)
+        finally:
+            self._busy_s += self._partial_s
+            self._partial_s = 0.0
         return total
 
     def submit(self, request: BlockRequest) -> float:

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+import numpy as np
+
 from repro.config import SchedulerParams
 from repro.disk.model import BlockRequest
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
@@ -80,6 +82,70 @@ class ElevatorScheduler:
                 "sched", "arrange", requests_in=len(requests), requests_out=len(out)
             )
         return out
+
+    def arrange_arrays(
+        self, starts: np.ndarray, nblocks: np.ndarray, writes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Array form of :meth:`arrange` for the batched I/O pipeline.
+
+        Takes the batch as parallel ``(starts, nblocks, is_write)`` arrays in
+        arrival order and returns the arranged batch the same way, so no
+        :class:`BlockRequest` objects are built.  The permutation and merge
+        decisions are identical to :meth:`arrange`: windows split in arrival
+        order, each stable-sorted by ``(start, nblocks)``, runs merged when
+        the inter-request gap is within ``merge_gap_blocks`` and the kind
+        matches.  Callers handle tracing themselves (the object path stays
+        in use whenever the tracer is enabled).
+        """
+        n = starts.shape[0]
+        self.metrics.incr("scheduler.batches")
+        self.metrics.incr("scheduler.requests_in", n)
+        gap = self.params.merge_gap_blocks
+        limit = self.params.batch_limit
+        out_s: list[np.ndarray] = []
+        out_n: list[np.ndarray] = []
+        out_w: list[np.ndarray] = []
+        for i in range(0, n, limit):
+            s = starts[i : i + limit]
+            b = nblocks[i : i + limit]
+            w = writes[i : i + limit]
+            # lexsort is stable, so full (start, nblocks) ties keep arrival
+            # order — the same permutation sorted() produces in arrange().
+            order = np.lexsort((b, s))
+            s = s[order]
+            b = b[order]
+            w = w[order]
+            if s.shape[0] > 1:
+                e = s + b
+                # A run merges into its predecessor exactly when the gap is
+                # in [0, gap] and the kind matches; a merged run always ends
+                # at its last request's end, so the pairwise test over the
+                # sorted arrays reproduces _merge_sorted's chains.
+                d = s[1:] - e[:-1]
+                heads = np.empty(s.shape[0], dtype=bool)
+                heads[0] = True
+                np.logical_not(
+                    (w[1:] == w[:-1]) & (d >= 0) & (d <= gap), out=heads[1:]
+                )
+                idx = np.flatnonzero(heads)
+                if idx.shape[0] != s.shape[0]:
+                    last = np.empty_like(idx)
+                    last[:-1] = idx[1:] - 1
+                    last[-1] = s.shape[0] - 1
+                    s = s[idx]
+                    b = e[last] - s
+                    w = w[idx]
+            out_s.append(s)
+            out_n.append(b)
+            out_w.append(w)
+        if len(out_s) == 1:
+            m_s, m_n, m_w = out_s[0], out_n[0], out_w[0]
+        else:
+            m_s = np.concatenate(out_s)
+            m_n = np.concatenate(out_n)
+            m_w = np.concatenate(out_w)
+        self.metrics.incr("scheduler.requests_out", int(m_s.shape[0]))
+        return m_s, m_n, m_w
 
 
 def make_scheduler(

@@ -22,7 +22,7 @@ from repro.fs.file import RedbudFile
 from repro.fs.stream import StreamId
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.sim.metrics import Metrics
-from repro.units import block_span, bytes_to_blocks
+from repro.units import bytes_to_blocks
 
 
 class DataPlane:
@@ -41,7 +41,8 @@ class DataPlane:
         # array's elapsed time; an already-bound clock wins.
         self.tracer.bind_clock(lambda: self.array.elapsed_s)
         self.array = DiskArray(
-            config.ndisks, config.disk, config.scheduler, self.metrics, self.tracer
+            config.ndisks, config.disk, config.scheduler, self.metrics, self.tracer,
+            vectorized=config.vectorized_disks,
         )
         self.fsm = FreeSpaceManager(
             config.ndisks,
@@ -53,6 +54,13 @@ class DataPlane:
         self.policy = make_policy(config.alloc, self.fsm, self.metrics, self.tracer)
         self._files: dict[int, RedbudFile] = {}
         self._next_file_id = 1
+        # Per-op counter bumps inline on this mapping (see
+        # Metrics.raw_counters); it survives Metrics.reset().
+        self._counters = self.metrics.raw_counters()
+        # Lazily-bound fs.extent_blocks histogram (one observe per inserted
+        # run); bound on first use so an idle plane leaves no empty
+        # histogram behind.
+        self._extent_hist = None
 
     @property
     def block_size(self) -> int:
@@ -141,36 +149,103 @@ class DataPlane:
         self._check_live(f)
         if nbytes <= 0:
             raise ReproError(f"write of {nbytes} bytes")
-        lb, nb = block_span(offset, nbytes, self.block_size)
-        requests: list[BlockRequest] = []
-        for slot, dstart, dcount in f.segments(lb, nb):
-            smap = f.maps[slot]
-            if self.policy.cow:
-                # Copy-on-write: overwrites are relocated — unmap and free
-                # any written blocks in range so they reallocate below.
+        if offset < 0:
+            raise ValueError(f"negative range: offset={offset} length={nbytes}")
+        # block_span(offset, nbytes, block_size) inlined: one call per write
+        # adds up across a sweep, and nbytes > 0 is already established.
+        bs = self.block_size
+        lb = offset // bs
+        nb = (offset + nbytes - 1) // bs - lb + 1
+        if self.config.io_batching:
+            requests = self._write_batched(f, stream, lb, nb)
+        else:
+            requests = []
+            for slot, dstart, dcount in self._segments(f, lb, nb):
+                smap = f.maps[slot]
+                if self.policy.cow:
+                    # Copy-on-write: overwrites are relocated — unmap and free
+                    # any written blocks in range so they reallocate below.
+                    for ext in smap.remove_range(dstart, dcount):
+                        self.fsm.free(ext.physical, ext.length)
+                        self.metrics.incr("fs.cow_relocated_blocks", ext.length)
+                holes = smap.holes_in_range(dstart, dcount)
+                smap.mark_written(dstart, dcount)
+                buffered = False
+                for h_start, h_count in holes:
+                    runs = self.policy.allocate(
+                        f.file_id, stream, self._target(f, slot), h_start, h_count
+                    )
+                    if not runs:
+                        buffered = True  # delayed allocation
+                        continue
+                    self._insert_runs(smap, runs)
+                for ext in smap.lookup_range(dstart, dcount):
+                    if not ext.unwritten:
+                        requests.append(BlockRequest(ext.physical, ext.length, is_write=True))
+                if buffered:
+                    self.metrics.incr("fs.buffered_writes")
+        end = offset + nbytes
+        if end > f.size_bytes:
+            f.size_bytes = end
+        counters = self._counters
+        counters["fs.writes"] += 1
+        counters["fs.bytes_written"] += nbytes
+        return requests
+
+    def _write_batched(
+        self, f: RedbudFile, stream: StreamId, lb: int, nb: int
+    ) -> list[BlockRequest]:
+        """Batched-pipeline write mapping: same extents, metrics and
+        coalesced requests as the legacy per-segment path, with the common
+        case short-circuited.
+
+        A segment appended past its slot's EOF is one whole hole, so the
+        hole scan, the unwritten conversion and the post-allocation range
+        lookup are all skipped — the policy's runs *are* the written blocks.
+        Requests coalesce inline instead of in a second pass.
+        """
+        policy = self.policy
+        cow = policy.cow
+        allocate = policy.allocate
+        insert_runs = self._insert_runs
+        target = self._target
+        maps = f.maps
+        file_id = f.file_id
+        runs_out: list[tuple[int, int]] = []
+        nbuffered = 0
+        for slot, dstart, dcount in self._segments(f, lb, nb):
+            smap = maps[slot]
+            if not cow and dstart >= smap.size_blocks:
+                runs = allocate(file_id, stream, target(f, slot), dstart, dcount)
+                if not runs:
+                    nbuffered += 1  # delayed allocation
+                    continue
+                insert_runs(smap, runs)
+                for run in runs:
+                    runs_out.append((run.physical, run.length))
+                continue
+            if cow:
                 for ext in smap.remove_range(dstart, dcount):
                     self.fsm.free(ext.physical, ext.length)
                     self.metrics.incr("fs.cow_relocated_blocks", ext.length)
-            holes = smap.holes_in_range(dstart, dcount)
-            smap.mark_written(dstart, dcount)
+            holes, has_unwritten, written = smap.scan_write_range(dstart, dcount)
+            if has_unwritten:
+                smap.mark_written(dstart, dcount)
             buffered = False
             for h_start, h_count in holes:
-                runs = self.policy.allocate(
-                    f.file_id, stream, self._target(f, slot), h_start, h_count
-                )
+                runs = allocate(file_id, stream, target(f, slot), h_start, h_count)
                 if not runs:
-                    buffered = True  # delayed allocation
+                    buffered = True
                     continue
-                self._insert_runs(smap, runs)
-            for ext in smap.lookup_range(dstart, dcount):
-                if not ext.unwritten:
-                    requests.append(BlockRequest(ext.physical, ext.length, is_write=True))
+                insert_runs(smap, runs)
+            if written is None:
+                written = smap.physical_runs(dstart, dcount)
+            runs_out.extend(written)
             if buffered:
-                self.metrics.incr("fs.buffered_writes")
-        f.size_bytes = max(f.size_bytes, offset + nbytes)
-        self.metrics.incr("fs.writes")
-        self.metrics.incr("fs.bytes_written", nbytes)
-        return requests
+                nbuffered += 1
+        if nbuffered:
+            self.metrics.incr("fs.buffered_writes", nbuffered)
+        return self._emit(runs_out, True)
 
     def read(self, f: RedbudFile, offset: int, nbytes: int) -> list[BlockRequest]:
         """Map a read and return its physical requests (holes read as zeros
@@ -178,14 +253,25 @@ class DataPlane:
         self._check_live(f)
         if nbytes <= 0:
             raise ReproError(f"read of {nbytes} bytes")
-        lb, nb = block_span(offset, nbytes, self.block_size)
-        requests: list[BlockRequest] = []
-        for slot, dstart, dcount in f.segments(lb, nb):
-            for ext in f.maps[slot].lookup_range(dstart, dcount):
-                if not ext.unwritten:
-                    requests.append(BlockRequest(ext.physical, ext.length, is_write=False))
-        self.metrics.incr("fs.reads")
-        self.metrics.incr("fs.bytes_read", nbytes)
+        if offset < 0:
+            raise ValueError(f"negative range: offset={offset} length={nbytes}")
+        bs = self.block_size
+        lb = offset // bs
+        nb = (offset + nbytes - 1) // bs - lb + 1
+        if self.config.io_batching:
+            runs_out: list[tuple[int, int]] = []
+            for slot, dstart, dcount in self._segments(f, lb, nb):
+                runs_out.extend(f.maps[slot].physical_runs(dstart, dcount))
+            requests = self._emit(runs_out, False)
+        else:
+            requests = []
+            for slot, dstart, dcount in self._segments(f, lb, nb):
+                for ext in f.maps[slot].lookup_range(dstart, dcount):
+                    if not ext.unwritten:
+                        requests.append(BlockRequest(ext.physical, ext.length, is_write=False))
+        counters = self._counters
+        counters["fs.reads"] += 1
+        counters["fs.bytes_read"] += nbytes
         return requests
 
     def fsync(self, f: RedbudFile) -> list[BlockRequest]:
@@ -261,11 +347,102 @@ class DataPlane:
     def _slot_of_target(self, f: RedbudFile, target: AllocTarget) -> int:
         return target.slot
 
+    def _segments(
+        self, f: RedbudFile, lb: int, nb: int
+    ) -> list[tuple[int, int, int]]:
+        """Stripe-unit segments of [lb, lb+nb), grouped when batching.
+
+        With ``io_batching`` on, consecutive stripe units landing on the same
+        slot (writes wider than one rotation) are dlocal-contiguous and are
+        merged into one segment, so the allocation policy sees one large
+        request per PAG instead of one per stripe unit — PVFS list I/O's
+        "describe many pieces in one request".
+        """
+        if not self.config.io_batching:
+            return list(f.segments(lb, nb))
+        sb = f.stripe_blocks
+        stripe, off = divmod(lb, sb)
+        if off + nb <= sb:  # inside one stripe unit: one segment, no loop
+            return [(stripe % f.width, (stripe // f.width) * sb + off, nb)]
+        grouped: list[tuple[int, int, int]] = []
+        for slot, dstart, dcount in f.segments(lb, nb):
+            if grouped:
+                g_slot, g_start, g_count = grouped[-1]
+                if g_slot == slot and g_start + g_count == dstart:
+                    grouped[-1] = (g_slot, g_start, g_count + dcount)
+                    continue
+            grouped.append((slot, dstart, dcount))
+        return grouped
+
+    def _coalesce(self, requests: list[BlockRequest]) -> list[BlockRequest]:
+        """Merge physically adjacent same-direction requests on one disk.
+
+        Mapping emits one request per extent; an allocator that extended a
+        run leaves neighbours physically adjacent, and those merge here
+        before submission.  Never merges across a disk boundary or a
+        read/write boundary; total blocks are preserved.
+        """
+        if len(requests) < 2:
+            return requests
+        bpd = self.config.disk.capacity_blocks
+        out: list[BlockRequest] = []
+        prev = requests[0]
+        merged = 0
+        for req in requests[1:]:
+            if (
+                req.is_write == prev.is_write
+                and prev.end == req.start
+                and prev.start // bpd == (req.end - 1) // bpd
+            ):
+                prev = BlockRequest(prev.start, prev.nblocks + req.nblocks, prev.is_write)
+                merged += 1
+            else:
+                out.append(prev)
+                prev = req
+        out.append(prev)
+        if merged:
+            self.metrics.incr("fs.coalesced_requests", merged)
+        return out
+
+    def _emit(self, runs: list[tuple[int, int]], is_write: bool) -> list[BlockRequest]:
+        """Turn ``(physical, length)`` runs into coalesced requests.
+
+        The inline (single-direction) variant of :meth:`_coalesce`: adjacent
+        same-disk runs merge before any :class:`BlockRequest` exists, so the
+        batched paths construct exactly one object per final request.
+        """
+        if not runs:
+            return []
+        bpd = self.config.disk.capacity_blocks
+        out: list[BlockRequest] = []
+        append = out.append
+        cur_start, length = runs[0]
+        cur_end = cur_start + length
+        # First block beyond the current run's disk: one division per output
+        # request instead of two per candidate merge.
+        disk_end = (cur_start // bpd + 1) * bpd
+        merged = 0
+        for phys, length in runs[1:]:
+            if phys == cur_end and phys + length <= disk_end:
+                cur_end += length
+                merged += 1
+            else:
+                append(BlockRequest(cur_start, cur_end - cur_start, is_write))
+                cur_start, cur_end = phys, phys + length
+                disk_end = (cur_start // bpd + 1) * bpd
+        append(BlockRequest(cur_start, cur_end - cur_start, is_write))
+        if merged:
+            self._counters["fs.coalesced_requests"] += merged
+        return out
+
     def _insert_runs(self, smap, runs: list[PhysicalRun]) -> None:
+        hist = self._extent_hist
+        if hist is None:
+            hist = self._extent_hist = self.metrics.histogram_ref("fs.extent_blocks")
+        insert = smap.insert
         for run in runs:
-            flags = ExtentFlags.UNWRITTEN if run.unwritten else ExtentFlags.NONE
-            self.metrics.observe("fs.extent_blocks", run.length)
-            smap.insert(Extent(run.dlocal, run.physical, run.length, flags))
+            hist.observe(run.length)
+            insert(Extent(run.dlocal, run.physical, run.length, 1 if run.unwritten else 0))
 
     def _slot_share(self, f: RedbudFile, total_blocks: int, slot: int) -> int:
         """Blocks of a ``total_blocks``-file landing on rotation slot ``slot``."""

@@ -42,11 +42,10 @@ class RedbudFile:
             self.maps = [ExtentMap() for _ in self.layout]
         if len(self.maps) != len(self.layout):
             raise ConfigError("one extent map per layout slot required")
-
-    @property
-    def width(self) -> int:
-        """Stripe width (number of rotation slots)."""
-        return len(self.layout)
+        # Stripe width (number of rotation slots).  Cached as a plain
+        # attribute: the striping arithmetic reads it per segment and the
+        # slot count never changes after creation.
+        self.width = len(self.layout)
 
     @property
     def extent_count(self) -> int:

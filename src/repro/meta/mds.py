@@ -44,7 +44,7 @@ class MetadataServer:
         self.tracer.bind_clock(lambda: self.elapsed_s)
         self.disk = SimulatedDisk(
             config.mds_disk, config.scheduler, self.metrics, name="mds",
-            tracer=self.tracer,
+            tracer=self.tracer, vectorized=config.vectorized_disks,
         )
         self.cache = BufferCache(config.cache, self.disk, self.metrics, self.tracer)
         self.mfs = MetadataFS(config.meta, config.mds_disk)

@@ -21,6 +21,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+import numpy as np
+
 
 def bucket_of(value: float) -> int:
     """Bucket index of a positive value: the binary exponent ``e`` such
@@ -66,6 +68,58 @@ class Histogram:
             return
         e = math.frexp(value)[1]
         self._buckets[e] = self._buckets.get(e, 0) + 1
+
+    def observe_array(self, values) -> None:
+        """Record a whole numpy array of samples at once.
+
+        Bucket counts, zeros and extrema land exactly as a loop of
+        :meth:`observe` would; only ``total`` may differ in the last ulp
+        (numpy's pairwise sum vs a sequential fold), and the percentile
+        queries never read it.
+        """
+        n = int(values.shape[0])
+        if n == 0:
+            return
+        mn = values.min().item()
+        if mn < 0:
+            raise ValueError(f"histogram values must be non-negative: {mn}")
+        mx = values.max().item()
+        self._count += n
+        self._sum += float(values.sum())
+        if self._min is None or mn < self._min:
+            self._min = mn
+        if self._max is None or mx > self._max:
+            self._max = mx
+        nonzero = values[values != 0]
+        self._zeros += n - int(nonzero.shape[0])
+        if nonzero.shape[0]:
+            exps, counts = np.unique(np.frexp(nonzero)[1], return_counts=True)
+            buckets = self._buckets
+            for e, c in zip(exps.tolist(), counts.tolist()):
+                buckets[e] = buckets.get(e, 0) + c
+
+    def absorb(self, snap: "HistogramSnapshot") -> None:
+        """Fold a full-history snapshot into this histogram.
+
+        Bucket counts and zeros add exactly and extrema combine exactly
+        (min of mins, max of maxes), so merging per-cell snapshots in any
+        order reproduces the bucket state — and hence every percentile — of
+        a single histogram that observed all the samples.  Only ``total``
+        is order-sensitive (float addition), and only at the last ulp.
+        Absorbing a phase *delta* (``extrema_exact=False``) keeps the
+        counts exact but makes the extrema bucket-edge approximations.
+        """
+        if snap.count == 0:
+            return
+        self._count += snap.count
+        self._sum += snap.total
+        self._zeros += snap.zeros
+        for e, c in snap.buckets.items():
+            self._buckets[e] = self._buckets.get(e, 0) + c
+        if snap.minimum is not None and (self._min is None or snap.minimum < self._min):
+            self._min = snap.minimum
+        if snap.maximum is not None and (self._max is None or snap.maximum > self._max):
+            self._max = snap.maximum
 
     # -- queries -----------------------------------------------------------
     @property

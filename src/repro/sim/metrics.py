@@ -37,6 +37,15 @@ class Metrics:
         """Current value of counter ``name`` (zero if never touched)."""
         return self._counters.get(name, 0)
 
+    def raw_counters(self) -> Counter[str]:
+        """The live counter mapping, for hot paths that bump counters once
+        per operation and cannot afford a method call each time.
+
+        The returned object stays valid across :meth:`reset` (which clears
+        it in place); treat it as increment-only.
+        """
+        return self._counters
+
     # -- accumulators -----------------------------------------------------
     def add(self, name: str, amount: float) -> None:
         """Add ``amount`` to float accumulator ``name``."""
@@ -53,6 +62,25 @@ class Metrics:
         if h is None:
             h = self._histograms[name] = Histogram()
         h.observe(value)
+
+    def observe_array(self, name: str, values) -> None:
+        """Record a numpy array of samples in histogram ``name`` at once."""
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram()
+        h.observe_array(values)
+
+    def histogram_ref(self, name: str) -> Histogram:
+        """The live (get-or-create) histogram ``name``, for hot paths that
+        record one sample per operation and cannot afford the per-call name
+        lookup.  Unlike :meth:`raw_counters`, the reference goes stale after
+        :meth:`reset` (which drops histogram objects); nothing in the
+        simulator resets metrics mid-run.
+        """
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram()
+        return h
 
     def histogram(self, name: str) -> HistogramSnapshot:
         """Snapshot of histogram ``name`` (empty if never observed)."""
@@ -89,6 +117,24 @@ class Metrics:
             if delta.count != 0:
                 hists[k] = delta
         return MetricsSnapshot(counters, accs, hists)
+
+    def absorb(self, snap: "MetricsSnapshot") -> None:
+        """Fold a snapshot from another bag into this one.
+
+        Used to merge per-cell metrics back into a run's bag: counters and
+        histogram buckets add exactly, so merging cells in submission order
+        reproduces the books of a single shared bag; float accumulators add
+        per-cell subtotals (equal to the shared-bag fold up to the last ulp).
+        """
+        for k, v in snap.counters.items():
+            self._counters[k] += v
+        for k, v in snap.accumulators.items():
+            self._accumulators[k] = self._accumulators.get(k, 0.0) + v
+        for k, hs in snap.histograms.items():
+            h = self._histograms.get(k)
+            if h is None:
+                h = self._histograms[k] = Histogram()
+            h.absorb(hs)
 
     def reset(self) -> None:
         """Zero every counter, accumulator and histogram."""
