@@ -125,6 +125,14 @@ class BlockBitmap:
         if hint is None:
             hint = self._rotor
         hint = min(max(hint, 0), self.size - 1)
+        # Fast path: the run right at the search start is usually free (the
+        # rotor trails the last allocation and frees rewind it), and the
+        # chunked scan below would return exactly this position.
+        if count == 1:
+            if not self._used[hint]:
+                return int(hint)
+        elif hint + count <= self.size and not self._used[hint : hint + count].any():
+            return int(hint)
         # The wrap pass extends past the hint by count-1 bits so a free run
         # straddling the hint is still found.
         for lo, hi in ((hint, self.size), (0, min(self.size, hint + count - 1))):
@@ -142,12 +150,14 @@ class BlockBitmap:
         if hi - lo < count:
             return -1
         if count == 1:
-            # Chunked first-free-bit search with early exit.
+            # Chunked first-free-bit search with early exit.  argmin on a
+            # bool window finds the first False without materializing the
+            # inverted mask or an index array.
             for base in range(lo, hi, self._SCAN_CHUNK):
                 window = self._used[base : min(base + self._SCAN_CHUNK, hi)]
-                idx = np.flatnonzero(~window)
-                if idx.size:
-                    return int(idx[0]) + base
+                idx = int(window.argmin())
+                if not window[idx]:
+                    return idx + base
             return -1
         # Chunked run-length scan; chunks overlap by count-1 so runs that
         # straddle a boundary are still found.

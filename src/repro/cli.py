@@ -135,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("fig10", help="Fig 10: PostMark and applications")
     p.add_argument("--scale", type=_scale, default=0.5)
     p.add_argument("--seed", type=int, default=0)
+    _add_jobs(p)
     p.set_defaults(func=cmd_fig10)
 
     p = sub.add_parser("claims", help="§I and §III.C headline claims")
@@ -221,6 +222,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=_scale, default=1.0)
     p.add_argument("--seed", type=int, default=0)
     _add_jobs(p)
+    p.add_argument(
+        "--meta", action="store_true",
+        help="measure the metadata path instead: the fig8 metarates sweep "
+        "plus an mdtest tree run, scalar vs batched execution",
+    )
     p.add_argument("--out", default=None, metavar="PATH",
                    help="also write the timing report as JSON to PATH")
     p.set_defaults(func=cmd_perf)
@@ -415,7 +421,9 @@ def cmd_fig9(args) -> int:
 
 
 def cmd_fig10(args) -> int:
-    result = run_experiment("fig10", scale=args.scale, seed=args.seed).payload
+    result = run_experiment(
+        "fig10", scale=args.scale, seed=args.seed, jobs=args.jobs
+    ).payload
     table = Table(
         "Fig 10 — execution time vs Lustre",
         ["program", "lustre (s)", "redbud-mif (s)", "proportion"],
@@ -593,9 +601,12 @@ def cmd_trace(args) -> int:
 
 
 def cmd_perf(args) -> int:
-    from repro.bench.perf import measure, save_report
+    from repro.bench.perf import measure, measure_meta, save_report
 
-    report = measure(scale=args.scale, seed=args.seed, jobs=args.jobs)
+    if args.meta:
+        report = measure_meta(scale=args.scale, seed=args.seed, jobs=args.jobs)
+    else:
+        report = measure(scale=args.scale, seed=args.seed, jobs=args.jobs)
     table = Table(
         f"Execution strategies — {report.runner} sweep "
         f"(scale={report.scale}, jobs={report.jobs})",
@@ -606,6 +617,10 @@ def cmd_perf(args) -> int:
                    f"{report.batched_speedup:.2f}x"])
     table.add_row([f"batched + vectorized, {report.jobs} workers",
                    f"{report.parallel_s:.2f}", f"{report.parallel_speedup:.2f}x"])
+    if args.meta:
+        table.add_row(["mdtest, legacy", f"{report.mdtest_legacy_s:.2f}", "1.00x"])
+        table.add_row(["mdtest, batched", f"{report.mdtest_batched_s:.2f}",
+                       f"{report.mdtest_speedup:.2f}x"])
     table.print()
     print()
     if report.identical:

@@ -265,6 +265,12 @@ class FSConfig:
     #: scalar per-request oracle path (same results, slower); kept for the
     #: perf runner's baseline comparison.
     vectorized_disks: bool = True
+    #: Batch the metadata path: execute each access plan's reads through
+    #: ``BufferCache.read_batch``, journal commits through
+    #: ``Journal.log_batch`` and checkpoints through the array submit path.
+    #: Off = the per-read/per-block scalar execution strategy (same
+    #: results, slower); kept for the perf runner's baseline comparison.
+    meta_batching: bool = True
 
     def __post_init__(self) -> None:
         if self.ndisks <= 0:

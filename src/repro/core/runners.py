@@ -495,8 +495,17 @@ class Fig8Result:
 
 
 def _fig8_profile_cell(spec, tracer=None) -> CellResult:
-    """All four metarates workloads against one profile's MDS."""
-    scale, cfg = spec
+    """All four metarates workloads against one profile's MDS.
+
+    A truthy trailing spec element selects the legacy metadata path
+    (scalar plan execution, scalar disk model) — same results, used only
+    by the perf harness as its wall-clock baseline.
+    """
+    scale, cfg, *rest = spec
+    if rest and rest[0]:
+        cfg = replace(
+            cfg, meta_batching=False, io_batching=False, vectorized_disks=False
+        )
     cell = _Cell(tracer)
     files_per_dir = _scaled(5000, scale, floor=200)
     wl = MetaratesWorkload(nclients=10, files_per_dir=files_per_dir)
@@ -521,10 +530,15 @@ def _fig8_profile_cell(spec, tracer=None) -> CellResult:
 
 def _fig8_dirsize_cell(spec, tracer=None) -> CellResult:
     """readdir-stat disk-request proportion for one directory size."""
-    (size,) = spec
+    size, *rest = spec
     cell = _Cell(tracer)
     counts: dict[str, int] = {}
     for cfg in (redbud_vanilla_profile(), redbud_mif_profile()):
+        if rest and rest[0]:
+            cfg = replace(
+                cfg, meta_batching=False, io_batching=False,
+                vectorized_disks=False,
+            )
         mds = cell.mds(cfg)
         wl = MetaratesWorkload(nclients=2, files_per_dir=size)
         dirs = wl.setup_dirs(mds)
@@ -546,9 +560,14 @@ def metarates_suite(
     profiles: tuple[FSConfig, ...] | None = None,
     dir_sizes: tuple[int, ...] = (1000, 5000, 10000),
     jobs: int | None = None,
+    legacy_io: bool = False,
 ) -> RunResult:
     """Fig. 8: utime/create (a), delete (b) and readdir-stat (c) throughput
-    and disk-access counts, plus the dir-size sweep for readdir-stat."""
+    and disk-access counts, plus the dir-size sweep for readdir-stat.
+
+    ``legacy_io`` and ``jobs`` change only execution strategy, never the
+    result, so neither participates in the fingerprint.
+    """
     run = _Run(
         "fig8", trace, scale=scale, seed=seed,
         profiles=None if profiles is None else tuple(p.name for p in profiles),
@@ -557,7 +576,7 @@ def metarates_suite(
     if profiles is None:
         profiles = (redbud_vanilla_profile(), lustre_profile(), redbud_mif_profile())
     payload = Fig8Result()
-    profile_specs = [(scale, cfg) for cfg in profiles]
+    profile_specs = [(scale, cfg, legacy_io) for cfg in profiles]
     for cell in run_cells(
         profile_specs, _fig8_profile_cell, jobs=jobs, tracer=run.tracer
     ):
@@ -566,8 +585,8 @@ def metarates_suite(
     # readdir-stat proportion vs directory size (§V.D.1's prefetch effect).
     # Absolute directory sizes on purpose: the effect *is* the size trend,
     # so rescaling it away would leave quantization noise.
-    size_specs = [(size,) for size in dir_sizes]
-    for (size,), cell in zip(
+    size_specs = [(size, legacy_io) for size in dir_sizes]
+    for (size, _), cell in zip(
         size_specs,
         run_cells(size_specs, _fig8_dirsize_cell, jobs=jobs, tracer=run.tracer),
     ):
@@ -660,17 +679,10 @@ class Fig10Result:
         return self.apps[profile][app].elapsed_s / self.apps[base][app].elapsed_s
 
 
-@register("fig10")
-def postmark_apps(
-    *,
-    scale: float = 1.0,
-    seed: int = 0,
-    trace: Tracer | NullTracer | bool | None = None,
-) -> RunResult:
-    """Fig. 10: PostMark + tar/make/make-clean execution-time proportions
-    (paper scale: 100K files / 500K transactions; kernel v2.6.30 tree)."""
-    run = _Run("fig10", trace, scale=scale, seed=seed)
-    payload = Fig10Result()
+def _fig10_cell(spec, tracer=None) -> CellResult:
+    """PostMark plus the three kernel-tree applications for one profile."""
+    scale, seed, cfg = spec
+    cell = _Cell(tracer)
     pm_cfg = PostMarkConfig(
         files=_scaled(2000, scale, floor=200) // 10 * 10,
         transactions=_scaled(10000, scale, floor=500),
@@ -680,39 +692,63 @@ def postmark_apps(
     tree = KernelTree(
         files_per_dir=_scaled(100, scale, floor=20), dirs=10, seed=seed
     )
-    for cfg in (lustre_profile(), redbud_mif_profile()):
-        fs = run.filesystem(cfg)
-        pm = PostMarkWorkload(pm_cfg).run(fs)
-        payload.postmark[cfg.name] = pm
-        run.phase(
-            f"postmark:{cfg.name}",
+    fs = cell.filesystem(cfg)
+    pm = PostMarkWorkload(pm_cfg).run(fs)
+    cell.phase(
+        f"postmark:{cfg.name}",
+        ThroughputResult(
+            bytes_moved=0,
+            elapsed=pm.elapsed_s,
+            ops=pm.creates + pm.deletes + pm.reads + pm.appends,
+        ),
+    )
+
+    fs = cell.filesystem(cfg)
+    tree.populate(fs, "/linux")
+    fs.mds.drop_caches()
+    apps: dict[str, AppResult] = {}
+    for label, app in (
+        ("tar", TarApp(tree)),
+        ("make", MakeApp(tree)),
+        ("make-clean", MakeCleanApp(tree)),
+    ):
+        result = app.run(fs, "/linux")
+        apps[label] = result
+        cell.phase(
+            f"{label}:{cfg.name}",
             ThroughputResult(
-                bytes_moved=0,
-                elapsed=pm.elapsed_s,
-                ops=pm.creates + pm.deletes + pm.reads + pm.appends,
+                bytes_moved=0, elapsed=result.elapsed_s, ops=result.ops
             ),
         )
+    cell.capture(f"apps:{cfg.name}:data", fs.data)
+    cell.capture(f"apps:{cfg.name}:meta", fs.mds)
+    return cell.result((cfg.name, pm, apps))
 
-        fs = run.filesystem(cfg)
-        tree.populate(fs, "/linux")
-        fs.mds.drop_caches()
-        apps: dict[str, AppResult] = {}
-        for label, app in (
-            ("tar", TarApp(tree)),
-            ("make", MakeApp(tree)),
-            ("make-clean", MakeCleanApp(tree)),
-        ):
-            result = app.run(fs, "/linux")
-            apps[label] = result
-            run.phase(
-                f"{label}:{cfg.name}",
-                ThroughputResult(
-                    bytes_moved=0, elapsed=result.elapsed_s, ops=result.ops
-                ),
-            )
-        payload.apps[cfg.name] = apps
-        run.capture(f"apps:{cfg.name}:data", fs.data)
-        run.capture(f"apps:{cfg.name}:meta", fs.mds)
+
+@register("fig10")
+def postmark_apps(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    trace: Tracer | NullTracer | bool | None = None,
+    jobs: int | None = None,
+) -> RunResult:
+    """Fig. 10: PostMark + tar/make/make-clean execution-time proportions
+    (paper scale: 100K files / 500K transactions; kernel v2.6.30 tree).
+
+    Each profile is an independent sweep cell, so ``jobs`` fans the two
+    profiles out over workers without changing the document.
+    """
+    run = _Run("fig10", trace, scale=scale, seed=seed)
+    payload = Fig10Result()
+    specs = [
+        (scale, seed, cfg) for cfg in (lustre_profile(), redbud_mif_profile())
+    ]
+    for cell in run_cells(specs, _fig10_cell, jobs=jobs, tracer=run.tracer):
+        run.absorb(cell)
+        name, pm, apps = cell.payload
+        payload.postmark[name] = pm
+        payload.apps[name] = apps
     return run.result(payload)
 
 

@@ -14,6 +14,7 @@ matter for the paper's results:
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import OrderedDict
 
 from repro.config import CacheParams
@@ -46,6 +47,12 @@ class BufferCache:
         self._lru: OrderedDict[int, None] = OrderedDict()
         # Readahead contexts: (expected next block, window size), LRU order.
         self._ra: OrderedDict[int, int] = OrderedDict()
+        # LRU refreshes deferred by read_batch's hit path: (start, end) runs
+        # of resident blocks awaiting move-to-end, in access order.  Applied
+        # (deduplicated) before anything order-sensitive — an insert, an
+        # eviction, an invalidation — so the cache's LRU order is exactly
+        # the scalar path's whenever that order can matter.
+        self._pending_moves: list[tuple[int, int]] = []
 
     # -- cache bookkeeping --------------------------------------------------
     def __contains__(self, block: int) -> bool:
@@ -54,9 +61,71 @@ class BufferCache:
     def __len__(self) -> int:
         return len(self._lru)
 
+    def _flush_moves(self) -> None:
+        """Apply deferred LRU refreshes in scalar-equivalent order.
+
+        Replaying the pending runs front-to-back would re-move every block
+        of every warm sweep.  The final LRU order of an OrderedDict after a
+        move sequence is: blocks never moved (original relative order),
+        then moved blocks ordered by their *last* move.  So a reverse walk
+        collecting each block's *last* occurrence, replayed in forward
+        order, yields exactly the scalar end state — and because the
+        pending entries are runs, the bookkeeping can stay on intervals (a
+        sorted disjoint coverage list) instead of per-block sets: repeated
+        warm sweeps of the same region collapse to one covered-interval
+        test, and only the final ``move_to_end`` loop touches blocks.
+        """
+        pending = self._pending_moves
+        if not pending:
+            return
+        move = self._lru.move_to_end
+        if len(pending) == 1:
+            start, end = pending[0]
+            for b in range(start, end):
+                move(b)
+            pending.clear()
+            return
+        covered: list[tuple[int, int]] = []  # sorted, disjoint
+        segments: list[tuple[int, int]] = []  # uncovered pieces, reverse order
+        for start, end in reversed(pending):
+            if not covered:
+                segments.append((start, end))
+                covered.append((start, end))
+                continue
+            lo = bisect_right(covered, (start,)) - 1
+            if lo >= 0 and covered[lo][1] < start:
+                lo += 1
+            elif lo < 0:
+                lo = 0
+            # covered[lo:hi] are the intervals overlapping/adjacent [start, end)
+            hi = lo
+            pieces: list[tuple[int, int]] = []
+            cursor = start
+            while hi < len(covered) and covered[hi][0] <= end:
+                cs, ce = covered[hi]
+                if cursor < cs:
+                    pieces.append((cursor, min(cs, end)))
+                cursor = max(cursor, ce)
+                hi += 1
+            if cursor < end:
+                pieces.append((cursor, end))
+            for piece in reversed(pieces):
+                segments.append(piece)
+            # Merge [start, end) with the overlapped intervals in place.
+            if lo < hi:
+                start = min(start, covered[lo][0])
+                end = max(end, covered[hi - 1][1])
+            covered[lo:hi] = [(start, end)]
+        for start, end in reversed(segments):
+            for b in range(start, end):
+                move(b)
+        pending.clear()
+
     def _insert(self, start: int, nblocks: int) -> None:
         if self.params.capacity_blocks == 0:
             return
+        if self._pending_moves:
+            self._flush_moves()
         for b in range(start, start + nblocks):
             if b in self._lru:
                 self._lru.move_to_end(b)
@@ -73,6 +142,8 @@ class BufferCache:
         invalidated region are dropped too: the blocks they predicted were
         freed, and a reallocated run must not inherit a stale window.
         """
+        if self._pending_moves:
+            self._flush_moves()
         for b in range(start, start + nblocks):
             self._lru.pop(b, None)
         slack = 2 * self.params.readahead_max_blocks
@@ -87,6 +158,7 @@ class BufferCache:
         """Empty the cache and reset readahead (echo 3 > drop_caches)."""
         self._lru.clear()
         self._ra.clear()
+        self._pending_moves.clear()
 
     # -- I/O ------------------------------------------------------------------
     def read(self, start: int, nblocks: int) -> float:
@@ -95,6 +167,8 @@ class BufferCache:
             raise SimulationError(f"read of {nblocks} blocks")
         if not self.params.enabled:
             return self.disk.submit(BlockRequest(start, nblocks, is_write=False))
+        if self._pending_moves:
+            self._flush_moves()
 
         # Readahead: each context is (prefetch frontier -> window size).  A
         # read at or just below a frontier belongs to that stream; pushing
@@ -192,6 +266,85 @@ class BufferCache:
             )
         self.metrics.observe("cache.read_latency_s", elapsed)
         return elapsed
+
+    def read_batch(self, reads: list[tuple[int, int]]) -> float:
+        """Execute a plan's read list; returns total disk seconds spent.
+
+        Equivalent to summing :meth:`read` over ``reads`` — the same disk
+        request stream, metric totals and cache/readahead end state (the
+        batched metadata path's determinism contract, docs/PERF.md).  A
+        read that is fully resident and does not push past a readahead
+        frontier takes a fast path without per-block accounting; anything
+        else — a miss, a frontier crossing, a read past capacity, tracing,
+        or a disabled cache — falls back to the scalar :meth:`read` for
+        that element, *before* any state was touched, so the sequence of
+        cache and context mutations is identical to the scalar loop.
+        """
+        if self.tracer.enabled or not self.params.enabled:
+            read = self.read
+            total = 0.0
+            for start, nblocks in reads:
+                total += read(start, nblocks)
+            return total
+        lru = self._lru
+        keys = lru.keys()
+        pend = self._pending_moves.append
+        ra = self._ra
+        slack = 2 * self.params.readahead_max_blocks
+        capacity = self.disk.capacity_blocks
+        total = 0.0
+        hits = 0
+        for start, nblocks in reads:
+            end = start + nblocks
+            if 0 < nblocks and end <= capacity:
+                ctx_key = None
+                for k in ra:
+                    if k - slack <= start <= k:
+                        ctx_key = k
+                        break
+                if ctx_key is None or end <= ctx_key:
+                    # No frontier crossing possible: the read either matches
+                    # no stream or stays inside its prefetched region.
+                    if nblocks == 1:
+                        resident = start in lru
+                    else:
+                        resident = keys >= set(range(start, end))
+                    if resident:
+                        if ctx_key is not None:
+                            ra.move_to_end(ctx_key)
+                        pend((start, end))
+                        hits += nblocks
+                        continue
+            total += self.read(start, nblocks)
+        if hits:
+            self.metrics.incr("cache.hits", hits)
+        return total
+
+    def insert_blocks(self, blocks) -> None:
+        """Bulk insert of single cached blocks (checkpoint completion).
+
+        Equivalent to calling ``_insert(b, 1)`` for each block in order,
+        including interleaved evictions, without the per-call overhead.
+        """
+        if self.params.capacity_blocks == 0:
+            return
+        if self._pending_moves:
+            self._flush_moves()
+        lru = self._lru
+        move = lru.move_to_end
+        popitem = lru.popitem
+        cap = self.params.capacity_blocks
+        evictions = 0
+        for b in blocks:
+            if b in lru:
+                move(b)
+            else:
+                lru[b] = None
+                while len(lru) > cap:
+                    popitem(last=False)
+                    evictions += 1
+        if evictions:
+            self.metrics.incr("cache.evictions", evictions)
 
     def write(self, start: int, nblocks: int, sync: bool = True) -> float:
         """Write a block run; write-through when ``sync`` (paper's Metarates

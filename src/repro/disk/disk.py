@@ -49,6 +49,13 @@ class SimulatedDisk:
         self._head = 0
         self._busy_s = 0.0
         self._partial_s = 0.0
+        # Hoisted metric handles for submit_one (one journal commit write
+        # per metadata op makes the per-call lookup cost visible).  The
+        # counter mapping survives Metrics.reset(); the histogram refs
+        # follow histogram_ref's contract (no mid-run resets).
+        self._counters = self.metrics.raw_counters()
+        self._h_latency = self.metrics.histogram_ref("disk.request_latency_s")
+        self._h_blocks = self.metrics.histogram_ref("disk.request_blocks")
         #: Optional fault injector (see :mod:`repro.fault`); None when the
         #: disk runs clean.
         self.injector = None
@@ -283,6 +290,50 @@ class SimulatedDisk:
     def submit(self, request: BlockRequest) -> float:
         """Service a single request (degenerate batch)."""
         return self.submit_batch([request])
+
+    def submit_one(self, start: int, nblocks: int, is_write: bool) -> float:
+        """Single-request fast path: identical effects to :meth:`submit` of
+        one :class:`BlockRequest` — the scheduler's batch counters, the disk
+        metrics, head movement and busy-time accounting — without building
+        a request object or arranging a one-element batch (a one-request
+        batch is a fixed point of every scheduler: nothing to sort, nothing
+        to merge).  Caller contract: ``nblocks > 0`` and ``start >= 0``,
+        as :class:`BlockRequest` validation would enforce.  A tracer or
+        fault injector routes back through the object path, which emits
+        trace events and applies fault filters per request.
+        """
+        if self.tracer.enabled or self.injector is not None:
+            return self.submit(BlockRequest(start, nblocks, is_write=is_write))
+        end = start + nblocks
+        if end > self.params.capacity_blocks:
+            raise SimulationError(
+                f"{self.name}: request [{start}, {end}) beyond capacity "
+                f"{self.params.capacity_blocks}"
+            )
+        counters = self._counters
+        counters["scheduler.batches"] += 1
+        counters["scheduler.requests_in"] += 1
+        counters["scheduler.requests_out"] += 1
+        positioning = self.model.positioning_time(self._head, start)
+        transfer = self.model.transfer_time(nblocks)
+        total = positioning + transfer
+        self._head = end
+        self._busy_s += total
+        self._h_latency.observe(total)
+        self._h_blocks.observe(nblocks)
+        counters["disk.requests"] += 1
+        counters["disk.blocks"] += nblocks
+        if positioning > 0.0:
+            counters["disk.positionings"] += 1
+        self.metrics.add("disk.positioning_s", positioning)
+        self.metrics.add("disk.transfer_s", transfer)
+        if is_write:
+            counters["disk.write_requests"] += 1
+            counters["disk.write_blocks"] += nblocks
+        else:
+            counters["disk.read_requests"] += 1
+            counters["disk.read_blocks"] += nblocks
+        return total
 
     def reset_timeline(self) -> None:
         """Zero the busy-time accumulator (head position is retained)."""

@@ -41,6 +41,13 @@ class EmbeddedDir:
     #: Fragmentation-degree inputs (§IV.A).
     file_count: int = 0
     record_sum: int = 0
+    #: Memo for ``EmbeddedLayout._content_reads``: (validation key, runs).
+    #: The key — (used blocks, number of content runs) — changes on every
+    #: extend and never on lazy-free (reclaimed slots stay inside the used
+    #: region), so a stale memo is impossible.
+    reads_memo: tuple[tuple[int, int], list[tuple[int, int]]] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def content_blocks(self) -> int:
@@ -181,9 +188,7 @@ class EmbeddedLayout(DirectoryLayout):
         _, old_offset = decode_ino(old_ino)
         src_dir.pending_free.append(old_offset)
         del src_dir.entries[src_name]
-        if inode.is_dir:
-            src_d = None
-        else:
+        if not inode.is_dir:
             src_dir.file_count -= 1
             src_dir.record_sum -= inode.extent_records
         # Allocate a destination slot and re-number the inode.
@@ -329,14 +334,21 @@ class EmbeddedLayout(DirectoryLayout):
 
     def _content_reads(self, d: EmbeddedDir) -> list[tuple[int, int]]:
         used_blocks = -(-d.next_offset // self.slots_per_block) if d.next_offset else 0
+        key = (used_blocks, len(d.content_runs))
+        memo = d.reads_memo
+        if memo is not None and memo[0] == key:
+            # Copy: callers extend the run list in place when building plans.
+            return list(memo[1])
         reads: list[tuple[int, int]] = []
+        remaining = used_blocks
         for start, count in d.content_runs:
-            take = min(count, used_blocks)
+            take = min(count, remaining)
             if take <= 0:
                 break
             reads.append((start, take))
-            used_blocks -= take
-        return reads
+            remaining -= take
+        d.reads_memo = (key, reads)
+        return list(reads)
 
     def _lookup_plan(self, d: EmbeddedDir, name: str, expect: bool | None) -> AccessPlan:
         """Ceph-style whole-directory prefetch: a cold lookup reads the full

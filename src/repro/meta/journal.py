@@ -96,6 +96,41 @@ class Journal:
         self._records.append(record)
         return (record, self.append(nblocks))
 
+    def log_batch(
+        self, entries
+    ) -> tuple[list[JournalRecord], list[BlockRequest], list[tuple[int, int]]]:
+        """Group commit: write-ahead records for a batch of operations.
+
+        ``entries`` is a sequence of ``(dirties, nblocks)`` pairs, one per
+        operation.  Returns ``(records, requests, spans)``: the records in
+        entry order, the flat commit-write request list for the whole
+        group, and ``spans[i] = (lo, hi)`` slicing the requests belonging
+        to ``records[i]``.
+
+        Each operation's commit blocks pack into the shared circular
+        region exactly as per-record :meth:`log` calls would — group
+        commit batches the bookkeeping, it never merges or reorders commit
+        writes *across* records.  That keeps torn-commit semantics
+        per-record: the caller submits each record's request span and
+        acknowledges :meth:`commit` only for records whose span reached
+        the platter intact, so replay/truncate behavior is identical to
+        the per-record path at every crash point.
+        """
+        if len(entries) == 1:
+            dirties, nblocks = entries[0]
+            record, reqs = self.log(dirties, nblocks)
+            return ([record], reqs, [(0, len(reqs))])
+        records: list[JournalRecord] = []
+        requests: list[BlockRequest] = []
+        spans: list[tuple[int, int]] = []
+        for dirties, nblocks in entries:
+            record, reqs = self.log(dirties, nblocks)
+            records.append(record)
+            lo = len(requests)
+            requests.extend(reqs)
+            spans.append((lo, len(requests)))
+        return (records, requests, spans)
+
     def commit(self, record: JournalRecord) -> None:
         """Mark ``record`` durable (its commit write hit the platter)."""
         record.committed = True

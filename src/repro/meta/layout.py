@@ -15,6 +15,8 @@ import abc
 from dataclasses import dataclass, field
 from typing import Any
 
+import numpy as np
+
 from repro.config import MetaParams
 from repro.errors import FileExists, FileNotFound
 from repro.meta.inode import Inode
@@ -49,6 +51,96 @@ class AccessPlan:
 
     def read_block_count(self) -> int:
         return sum(c for _, c in self.reads)
+
+    def coalesce(self) -> "AccessPlan":
+        """Dedup and merge the read footprint of one operation.
+
+        The MDS assembles a whole plan before touching the disk, so reads
+        the plan repeats (the same itable block for adjacent entries) or
+        issues back-to-back (consecutive spill blocks) collapse into one
+        sweep — §IV.A's "all disk accesses can be combined in the same
+        disk request".  Three rules, applied in access order:
+
+        - a span identical to an earlier span in the plan is dropped;
+        - a span fully contained in the *immediately preceding* span is
+          dropped;
+        - a span starting exactly where the preceding span ends extends it.
+
+        Reads are never reordered.  Returns ``self`` unchanged when the
+        plan has nothing to collapse.
+        """
+        reads = self.reads
+        if len(reads) <= 1:
+            return self
+        if len(reads) == 2:
+            # The dominant plan shape (content span + home block) inlined:
+            # the general loop's set/list machinery costs more than the
+            # whole comparison.
+            (s0, c0), (s1, c1) = reads
+            e0 = s0 + c0
+            if s0 <= s1 and s1 + c1 <= e0:
+                merged = [reads[0]]
+            elif s1 == e0 and c1 > 0:
+                merged = [(s0, c0 + c1)]
+            else:
+                return self
+            return AccessPlan(
+                reads=merged,
+                dirties=self.dirties,
+                cpu_s=self.cpu_s,
+                journal_records=self.journal_records,
+            )
+        n = len(reads)
+        if n >= 64:
+            starts = np.fromiter((s for s, _ in reads), dtype=np.int64, count=n)
+            counts = np.fromiter((c for _, c in reads), dtype=np.int64, count=n)
+            if bool((counts == 1).all()):
+                # Long single-block plans (normal-layout readdirplus sweeps)
+                # reduce to: keep each block's first occurrence, then merge
+                # consecutive-block runs.  The containment rule cannot fire
+                # here — a block inside an already-merged run was, by
+                # construction, seen before and is dropped as a duplicate.
+                _, first = np.unique(starts, return_index=True)
+                first.sort()
+                dedup = starts[first]
+                brk = np.flatnonzero(np.diff(dedup) != 1)
+                run_lo = np.concatenate(([0], brk + 1))
+                run_hi = np.concatenate((brk + 1, [dedup.size]))
+                if run_lo.size == n:
+                    return self
+                return AccessPlan(
+                    reads=[
+                        (int(dedup[a]), int(b - a))
+                        for a, b in zip(run_lo, run_hi)
+                    ],
+                    dirties=self.dirties,
+                    cpu_s=self.cpu_s,
+                    journal_records=self.journal_records,
+                )
+        out: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        prev_start = prev_end = -1
+        for span in reads:
+            if span in seen:
+                continue
+            seen.add(span)
+            start, count = span
+            if prev_start <= start and start + count <= prev_end:
+                continue
+            if start == prev_end and count > 0:
+                prev_start, prev_end = out[-1][0], prev_end + count
+                out[-1] = (prev_start, prev_end - prev_start)
+                continue
+            out.append(span)
+            prev_start, prev_end = start, start + count
+        if len(out) == len(reads):
+            return self
+        return AccessPlan(
+            reads=out,
+            dirties=self.dirties,
+            cpu_s=self.cpu_s,
+            journal_records=self.journal_records,
+        )
 
 
 class DirectoryLayout(abc.ABC):

@@ -341,3 +341,14 @@ class TestRunCellsDeterminism:
         assert collect("fig7", scale=0.05, seed=0) == collect(
             "fig7", scale=0.05, seed=0, jobs=2
         )
+
+    @pytest.mark.parametrize("runner", ["fig8", "fig9", "fig10"])
+    def test_sweep_documents_identical_across_jobs(self, runner):
+        """The metadata and application sweeps fan their cells out over
+        worker processes too; the rendered document must not depend on the
+        worker count."""
+        from repro.bench.baseline import collect
+
+        assert collect(runner, scale=0.05, seed=0, jobs=1) == collect(
+            runner, scale=0.05, seed=0, jobs=4
+        )
