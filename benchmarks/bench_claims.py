@@ -8,7 +8,7 @@
   preallocation wastes space on small files) is what the bench checks.
 """
 
-from repro.core.experiments import (
+from repro.core.runners import (
     file_per_process_gap,
     interference_claim,
     prealloc_waste,

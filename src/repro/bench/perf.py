@@ -8,7 +8,7 @@ every run:
 
 - **legacy** — per-segment data path, scalar disk model, serial sweep
   (the pre-optimization execution strategy, kept behind
-  ``FSConfig.io_batching`` / ``FSConfig.vectorized_disks``);
+  ``FSConfig.execution="legacy"``);
 - **batched** — request batching + vectorized service-time model, serial;
 - **parallel** — batched, with sweep cells fanned out over ``jobs``
   worker processes (:mod:`repro.core.parallel`).
@@ -99,7 +99,7 @@ def measure(
     the verdict so callers (the CLI, CI's perf-smoke job) decide severity.
     """
     n = resolve_jobs(jobs)
-    legacy_s, legacy_doc, fp = _timed(scale=scale, seed=seed, legacy_io=True)
+    legacy_s, legacy_doc, fp = _timed(scale=scale, seed=seed, execution="legacy")
     batched_s, batched_doc, _ = _timed(scale=scale, seed=seed)
     parallel_s, parallel_doc, _ = _timed(scale=scale, seed=seed, jobs=n)
     return PerfReport(
@@ -182,9 +182,7 @@ def _mdtest_timed(*, scale: float, legacy: bool) -> tuple[float, str]:
 
     cfg = redbud_mif_profile()
     if legacy:
-        cfg = replace(
-            cfg, meta_batching=False, io_batching=False, vectorized_disks=False
-        )
+        cfg = replace(cfg, execution="legacy")
     mdt = MdtestConfig(
         depth=2, branch=3, items_per_dir=max(2, int(16 * scale)), ntasks=4
     )
@@ -213,14 +211,14 @@ def measure_meta(
 ) -> MetaPerfReport:
     """Time the metadata benchmark suite under both execution strategies.
 
-    The fig8 metarates sweep runs legacy (``legacy_io=True``: scalar plan
-    execution, scalar disks), batched serial and batched parallel; the
-    mdtest tree runs legacy and batched.  As with :func:`measure`, the
-    report's ``identical`` flag carries the byte-identity verdict.
+    The fig8 metarates sweep runs legacy (``execution="legacy"``: scalar
+    plan execution, scalar disks), batched serial and batched parallel;
+    the mdtest tree runs legacy and batched.  As with :func:`measure`,
+    the report's ``identical`` flag carries the byte-identity verdict.
     """
     n = resolve_jobs(jobs)
     legacy_s, legacy_doc, fp = _timed(
-        META_PERF_RUNNER, scale=scale, seed=seed, legacy_io=True
+        META_PERF_RUNNER, scale=scale, seed=seed, execution="legacy"
     )
     batched_s, batched_doc, _ = _timed(META_PERF_RUNNER, scale=scale, seed=seed)
     parallel_s, parallel_doc, _ = _timed(

@@ -3,15 +3,26 @@
 Commands regenerate the paper's tables and figures, run one-off
 micro-benchmarks with a fragmentation visualization, and synthesize or
 replay shared-file traces.  Everything is simulated — no disks are touched.
+
+Runner-backed subcommands are **registry-driven**: each is one declarative
+:class:`RunnerCommand` entry (name, help, default scale, extra options,
+printer) and the parser wires them up in a loop.  Shared options follow
+the runner's actual signature — every entry gets ``--scale``/``--seed``,
+and ``--jobs`` / ``--exec`` appear automatically when the registered
+runner accepts ``jobs`` / ``execution``.  ``--list`` walks the same
+runner registry.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import inspect
 import json
 import os
 import sys
+from collections.abc import Callable
+from typing import Any
 
 from repro import __version__
 from repro.bench import baseline as bench_baseline
@@ -83,6 +94,92 @@ def _scale(text: str) -> float:
     return value
 
 
+def _rate_or_name(text: str) -> str | float:
+    """A named rate/duration stays a string; anything numeric parses."""
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _rate_list(text: str) -> tuple[str | float, ...]:
+    return tuple(_rate_or_name(t.strip()) for t in text.split(",") if t.strip())
+
+
+# -- declarative runner-backed subcommands ------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class CliOption:
+    """One extra ``add_argument`` for a runner command.
+
+    ``forward`` names the runner kwarg the parsed value is passed to
+    (``None`` = printer-only option, e.g. an output path).
+    """
+
+    flags: tuple[str, ...]
+    forward: str | None = None
+    kwargs: dict = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass(frozen=True)
+class RunnerCommand:
+    """Declarative spec for one runner-backed CLI subcommand."""
+
+    name: str
+    help: str
+    printer: "Callable[[Any, argparse.Namespace], int]"
+    default_scale: float = 1.0
+    #: Fixed kwargs the CLI always passes to the runner.
+    run_kwargs: dict = dataclasses.field(default_factory=dict)
+    options: tuple[CliOption, ...] = ()
+
+
+def _runner_params(name: str):
+    """Signature parameters of the registered runner ``name``."""
+    from repro.core.run import RUNNERS, _load
+
+    _load()
+    return inspect.signature(RUNNERS[name]).parameters
+
+
+def _runner_command(spec: RunnerCommand):
+    """The ``args -> exit code`` handler for one declarative entry."""
+
+    def cmd(args: argparse.Namespace) -> int:
+        kwargs = dict(spec.run_kwargs)
+        kwargs["jobs"] = getattr(args, "jobs", None)
+        if getattr(args, "execution", None):
+            kwargs["execution"] = args.execution
+        for opt in spec.options:
+            if opt.forward is not None:
+                kwargs[opt.forward] = getattr(args, opt.forward)
+        result = run_experiment(spec.name, scale=args.scale, seed=args.seed, **kwargs)
+        return spec.printer(result, args)
+
+    return cmd
+
+
+def _register_runner_commands(sub) -> None:
+    """Wire every :data:`RUNNER_COMMANDS` entry into the subparser set."""
+    for spec in RUNNER_COMMANDS:
+        params = _runner_params(spec.name)
+        p = sub.add_parser(spec.name, help=spec.help)
+        p.add_argument("--scale", type=_scale, default=spec.default_scale)
+        p.add_argument("--seed", type=int, default=0)
+        if "jobs" in params:
+            _add_jobs(p)
+        if "execution" in params:
+            p.add_argument(
+                "--exec", dest="execution", choices=("batched", "legacy"),
+                default=None,
+                help="execution profile (wall-clock only; results are "
+                "identical — see docs/PERF.md)",
+            )
+        for opt in spec.options:
+            p.add_argument(*opt.flags, **opt.kwargs)
+        p.set_defaults(func=_runner_command(spec))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -96,47 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command")
 
-    p = sub.add_parser("fig6a", help="Fig 6(a): throughput vs stream count")
-    p.add_argument("--scale", type=_scale, default=1.0)
-    p.add_argument("--seed", type=int, default=0)
-    _add_jobs(p)
-    p.set_defaults(func=cmd_fig6a)
-
-    p = sub.add_parser("fig6b", help="Fig 6(b): throughput vs request size")
-    p.add_argument("--scale", type=_scale, default=1.0)
-    p.add_argument("--seed", type=int, default=0)
-    _add_jobs(p)
-    p.set_defaults(func=cmd_fig6b)
-
-    p = sub.add_parser("fig7", help="Fig 7: IOR2/BTIO macro benchmarks")
-    p.add_argument("--scale", type=_scale, default=1.0)
-    p.add_argument("--seed", type=int, default=0)
-    _add_jobs(p)
-    p.set_defaults(func=cmd_fig7)
-
-    p = sub.add_parser("table1", help="Table I: extents and MDS CPU")
-    p.add_argument("--scale", type=_scale, default=1.0)
-    p.add_argument("--seed", type=int, default=0)
-    _add_jobs(p)
-    p.set_defaults(func=cmd_table1)
-
-    p = sub.add_parser("fig8", help="Fig 8: Metarates metadata benchmark")
-    p.add_argument("--scale", type=_scale, default=0.2)
-    p.add_argument("--seed", type=int, default=0)
-    _add_jobs(p)
-    p.set_defaults(func=cmd_fig8)
-
-    p = sub.add_parser("fig9", help="Fig 9: file system aging")
-    p.add_argument("--scale", type=_scale, default=0.5)
-    p.add_argument("--seed", type=int, default=0)
-    _add_jobs(p)
-    p.set_defaults(func=cmd_fig9)
-
-    p = sub.add_parser("fig10", help="Fig 10: PostMark and applications")
-    p.add_argument("--scale", type=_scale, default=0.5)
-    p.add_argument("--seed", type=int, default=0)
-    _add_jobs(p)
-    p.set_defaults(func=cmd_fig10)
+    _register_runner_commands(sub)
 
     p = sub.add_parser("claims", help="§I and §III.C headline claims")
     p.add_argument("--scale", type=_scale, default=1.0)
@@ -270,27 +327,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_fsck)
 
-    p = sub.add_parser(
-        "faults",
-        help="seeded fault campaign: crash/recover the MDS, scrub latent "
-        "sector errors, corrupt both planes and fsck-repair to clean",
-    )
-    p.add_argument("--scale", type=_scale, default=1.0)
-    p.add_argument("--seed", type=int, default=0)
-    p.set_defaults(func=cmd_faults)
-
     p = sub.add_parser("info", help="show the three system profiles")
     p.set_defaults(func=cmd_info)
     return parser
 
 
-# -- figure commands -----------------------------------------------------------
+# -- figure printers (result, args) -> exit code -------------------------------
 
-def cmd_fig6a(args) -> int:
-    result = run_experiment(
-        "fig6a", scale=args.scale, seed=args.seed, stream_counts=(32, 48, 64),
-        jobs=args.jobs,
-    ).payload
+def print_fig6a(run_result, args) -> int:
+    result = run_result.payload
     table = Table(
         "Fig 6(a) — phase-2 throughput (MiB/s) vs stream count",
         ["streams", "reservation", "static", "ondemand", "gain"],
@@ -309,10 +354,8 @@ def cmd_fig6a(args) -> int:
     return 0
 
 
-def cmd_fig6b(args) -> int:
-    result = run_experiment(
-        "fig6b", scale=args.scale, seed=args.seed, jobs=args.jobs
-    ).payload
+def print_fig6b(run_result, args) -> int:
+    result = run_result.payload
     table = Table(
         "Fig 6(b) — phase-2 throughput (MiB/s) vs phase-1 request size",
         ["request KiB", "reservation", "static", "ondemand"],
@@ -330,10 +373,8 @@ def cmd_fig6b(args) -> int:
     return 0
 
 
-def cmd_fig7(args) -> int:
-    result = run_experiment(
-        "fig7", scale=args.scale, seed=args.seed, jobs=args.jobs
-    ).payload
+def print_fig7(run_result, args) -> int:
+    result = run_result.payload
     table = Table(
         "Fig 7 — macro-benchmark throughput (MiB/s)",
         ["app", "mode", "reservation", "ondemand", "gain"],
@@ -355,10 +396,8 @@ def cmd_fig7(args) -> int:
     return 0
 
 
-def cmd_table1(args) -> int:
-    result = run_experiment(
-        "table1", scale=args.scale, seed=args.seed, jobs=args.jobs
-    ).payload
+def print_table1(run_result, args) -> int:
+    result = run_result.payload
     table = Table(
         "Table I — extents and MDS CPU (non-collective)",
         ["mode", "app", "seg counts", "CPU"],
@@ -371,10 +410,8 @@ def cmd_table1(args) -> int:
     return 0
 
 
-def cmd_fig8(args) -> int:
-    result = run_experiment(
-        "fig8", scale=args.scale, seed=args.seed, jobs=args.jobs
-    ).payload
+def print_fig8(run_result, args) -> int:
+    result = run_result.payload
     table = Table(
         "Fig 8 — Metarates (ops/s; proportion = MDS disk requests mif/orig)",
         ["workload", "redbud-orig", "lustre", "redbud-mif", "gain", "proportion"],
@@ -403,11 +440,8 @@ def cmd_fig8(args) -> int:
     return 0
 
 
-def cmd_fig9(args) -> int:
-    result = run_experiment(
-        "fig9", scale=args.scale, seed=args.seed, utilizations=(0.0, 0.4, 0.8),
-        jobs=args.jobs,
-    ).payload
+def print_fig9(run_result, args) -> int:
+    result = run_result.payload
     table = Table(
         "Fig 9 — aging impact (ops/s)",
         ["utilization", "system", "create/s", "delete/s"],
@@ -420,10 +454,8 @@ def cmd_fig9(args) -> int:
     return 0
 
 
-def cmd_fig10(args) -> int:
-    result = run_experiment(
-        "fig10", scale=args.scale, seed=args.seed, jobs=args.jobs
-    ).payload
+def print_fig10(run_result, args) -> int:
+    result = run_result.payload
     table = Table(
         "Fig 10 — execution time vs Lustre",
         ["program", "lustre (s)", "redbud-mif (s)", "proportion"],
@@ -750,8 +782,8 @@ def _print_repair(label: str, repair) -> None:
         print(f"  ! [{f.code}] {f.message}")
 
 
-def cmd_faults(args) -> int:
-    result = run_experiment("faults", scale=args.scale, seed=args.seed).payload
+def print_faults(run_result, args) -> int:
+    result = run_result.payload
     print(f"fault campaign (seed={result.seed})")
     print(
         f"  injected: {result.injected_lse} latent sector error(s), "
@@ -773,6 +805,100 @@ def cmd_faults(args) -> int:
     print()
     _print_repair("metadata", result.mds_repair)
     return 0 if result.clean_after else 1
+
+
+def print_service(run_result, args) -> int:
+    report = run_result.payload
+    table = Table(
+        "Open-loop service mode — sojourn latency under offered load",
+        ["rate", "station", "started", "dropped", "p50 (s)", "p99 (s)",
+         "p999 (s)", "saturation", "goodput/s"],
+    )
+    for cell in report.cells:
+        for name in sorted(cell.stations):
+            st = cell.stations[name]
+            table.add_row(
+                [
+                    f"{cell.rate:g}", name, st.started, st.dropped,
+                    f"{st.p50_s:.2e}", f"{st.p99_s:.2e}", f"{st.p999_s:.2e}",
+                    f"{st.saturation:.2f}", f"{st.goodput_ops_s:.0f}",
+                ]
+            )
+    table.print()
+    for cell in report.cells:
+        print(
+            f"rate {cell.rate:g}: {cell.arrivals} arrivals over "
+            f"{cell.streams} streams ({cell.active_streams} active), "
+            f"queue depth {cell.queue_depth}, {cell.duration_s:g} s window"
+        )
+    if args.out:
+        doc = {
+            "fingerprint": run_result.fingerprint,
+            "cells": [dataclasses.asdict(cell) for cell in report.cells],
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"wrote latency report to {args.out}")
+    return 0
+
+
+#: Every runner-backed subcommand, declaratively.  ``build_parser`` wires
+#: these in a loop; ``--jobs`` / ``--exec`` attach themselves by inspecting
+#: the registered runner's signature.
+RUNNER_COMMANDS: tuple[RunnerCommand, ...] = (
+    RunnerCommand(
+        "fig6a", "Fig 6(a): throughput vs stream count", print_fig6a,
+        run_kwargs={"stream_counts": (32, 48, 64)},
+    ),
+    RunnerCommand("fig6b", "Fig 6(b): throughput vs request size", print_fig6b),
+    RunnerCommand("fig7", "Fig 7: IOR2/BTIO macro benchmarks", print_fig7),
+    RunnerCommand("table1", "Table I: extents and MDS CPU", print_table1),
+    RunnerCommand(
+        "fig8", "Fig 8: Metarates metadata benchmark", print_fig8,
+        default_scale=0.2,
+    ),
+    RunnerCommand(
+        "fig9", "Fig 9: file system aging", print_fig9, default_scale=0.5,
+        run_kwargs={"utilizations": (0.0, 0.4, 0.8)},
+    ),
+    RunnerCommand(
+        "fig10", "Fig 10: PostMark and applications", print_fig10,
+        default_scale=0.5,
+    ),
+    RunnerCommand(
+        "faults",
+        "seeded fault campaign: crash/recover the MDS, scrub latent "
+        "sector errors, corrupt both planes and fsck-repair to clean",
+        print_faults,
+    ),
+    RunnerCommand(
+        "service",
+        "open-loop service mode: arrival-driven load, latency percentiles "
+        "(docs/SERVICE.md)",
+        print_service,
+        options=(
+            CliOption(("--streams",), "streams", dict(
+                type=_positive_int, default=1000,
+                help="number of client streams (default 1000)")),
+            CliOption(("--rate",), "rate", dict(
+                type=_rate_or_name, default="small",
+                help="per-stream ops/s: small|medium|large or a number")),
+            CliOption(("--duration",), "duration", dict(
+                type=_rate_or_name, default="short",
+                help="arrival window: short|long or seconds (x scale)")),
+            CliOption(("--queue-depth",), "queue_depth", dict(
+                type=_positive_int, default=64,
+                help="bounded station queue depth (arrivals beyond it drop)")),
+            CliOption(("--rates",), "rates", dict(
+                type=_rate_list, default=None, metavar="R1,R2,...",
+                help="sweep several rates as independent cells")),
+            CliOption(("--out",), None, dict(
+                default=None, metavar="PATH",
+                help="also write the latency report as JSON to PATH")),
+        ),
+    ),
+)
 
 
 def cmd_info(args) -> int:

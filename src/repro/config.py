@@ -256,21 +256,23 @@ class FSConfig:
     #: CPU time the MDS spends per extent handled (merging/indexing); the
     #: source of Table I's CPU-utilization column.
     mds_cpu_s_per_extent: float = 0.00002
-    #: Batch the data path: group dlocal-contiguous same-PAG segments into
-    #: one policy call and coalesce physically adjacent requests before
-    #: submission (PVFS list-I/O style).  Off = the per-segment legacy path,
-    #: kept for the perf runner's baseline comparison.
-    io_batching: bool = True
-    #: Use the numpy batch service-time model inside each disk.  Off = the
-    #: scalar per-request oracle path (same results, slower); kept for the
-    #: perf runner's baseline comparison.
-    vectorized_disks: bool = True
-    #: Batch the metadata path: execute each access plan's reads through
-    #: ``BufferCache.read_batch``, journal commits through
-    #: ``Journal.log_batch`` and checkpoints through the array submit path.
-    #: Off = the per-read/per-block scalar execution strategy (same
-    #: results, slower); kept for the perf runner's baseline comparison.
-    meta_batching: bool = True
+    #: Execution profile for both the data and metadata paths:
+    #:
+    #: - ``"batched"`` (default) — group dlocal-contiguous same-PAG segments
+    #:   into one policy call, coalesce physically adjacent requests before
+    #:   submission (PVFS list-I/O style), use the numpy batch service-time
+    #:   model inside each disk, and execute metadata access plans through
+    #:   ``BufferCache.read_batch`` / ``Journal.log_batch`` / the array
+    #:   submit path.
+    #: - ``"legacy"`` — the per-segment, per-request, per-read scalar paths
+    #:   (same results, slower); kept for the perf runner's baseline
+    #:   comparison.
+    #:
+    #: The old per-path booleans (``io_batching``, ``vectorized_disks``,
+    #: ``meta_batching``) are accepted as deprecated constructor aliases:
+    #: any ``False`` selects ``"legacy"``, all-``True`` selects
+    #: ``"batched"``.
+    execution: str = "batched"
 
     def __post_init__(self) -> None:
         if self.ndisks <= 0:
@@ -281,6 +283,24 @@ class FSConfig:
             raise ConfigError(f"pags_per_disk must be positive: {self.pags_per_disk}")
         if self.mds_request_overhead_s < 0 or self.mds_cpu_s_per_extent < 0:
             raise ConfigError("MDS cost parameters must be >= 0")
+        if self.execution not in ("batched", "legacy"):
+            raise ConfigError(f"unknown execution profile: {self.execution!r}")
+
+    # -- execution profile views (read-only; see ``execution``) ---------------
+    @property
+    def io_batching(self) -> bool:
+        """Batched data-path submission (profile view of ``execution``)."""
+        return self.execution == "batched"
+
+    @property
+    def vectorized_disks(self) -> bool:
+        """numpy batch disk service-time model (profile view of ``execution``)."""
+        return self.execution == "batched"
+
+    @property
+    def meta_batching(self) -> bool:
+        """Batched metadata plan execution (profile view of ``execution``)."""
+        return self.execution == "batched"
 
     def with_policy(self, policy: str, **overrides: object) -> "FSConfig":
         """Copy of this config with a different allocation policy."""
@@ -290,3 +310,33 @@ class FSConfig:
     def with_layout(self, layout: str) -> "FSConfig":
         """Copy of this config with a different directory layout."""
         return replace(self, meta=replace(self.meta, layout=layout))
+
+
+# Deprecated constructor aliases: the per-path batching booleans collapsed
+# into the single ``execution`` profile.  Accepting them here (rather than as
+# fields) keeps ``FSConfig(io_batching=False)`` and
+# ``dataclasses.replace(cfg, meta_batching=False)`` working for one release —
+# ``replace`` routes unknown keys through ``__init__``, so both spellings land
+# in this wrapper.
+_LEGACY_EXECUTION_FLAGS = ("io_batching", "vectorized_disks", "meta_batching")
+_fsconfig_dataclass_init = FSConfig.__init__
+
+
+def _fsconfig_init(self, *args, **kwargs) -> None:
+    legacy = {k: kwargs.pop(k) for k in _LEGACY_EXECUTION_FLAGS if k in kwargs}
+    if legacy:
+        import warnings
+
+        names = ", ".join(sorted(legacy))
+        warnings.warn(
+            f"FSConfig({names}=...) is deprecated; use "
+            "execution='batched' or execution='legacy' instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        kwargs["execution"] = "batched" if all(legacy.values()) else "legacy"
+    _fsconfig_dataclass_init(self, *args, **kwargs)
+
+
+_fsconfig_init.__wrapped__ = _fsconfig_dataclass_init  # type: ignore[attr-defined]
+FSConfig.__init__ = _fsconfig_init  # type: ignore[method-assign]

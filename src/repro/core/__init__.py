@@ -1,5 +1,10 @@
 """High-level API: the unified ``run()`` entry point, convenience helpers
-and (deprecated) per-figure experiment functions."""
+and the per-figure payload dataclasses.
+
+Invoke experiments as ``run(name, scale=..., jobs=..., config=...,
+seed=...)``; the registered runner functions and their payload types live
+in :mod:`repro.core.runners`.
+"""
 
 from repro.core.api import (
     PROFILES,
@@ -9,7 +14,8 @@ from repro.core.api import (
     compare_policies,
     fragmentation_report,
 )
-from repro.core.experiments import (
+from repro.core.run import RunResult, fingerprint, run, runner_names
+from repro.core.runners import (
     AgingResult,
     Fig6aResult,
     Fig6bResult,
@@ -18,18 +24,10 @@ from repro.core.experiments import (
     Fig10Result,
     FppGap,
     Table1Result,
-    aging_impact,
     file_per_process_gap,
     interference_claim,
-    macro_benchmarks,
-    metarates_suite,
-    micro_request_size,
-    micro_stream_count,
-    postmark_apps,
     prealloc_waste,
-    table1_segments,
 )
-from repro.core.run import RunResult, fingerprint, run, runner_names
 
 __all__ = [
     "AgingResult",
@@ -44,20 +42,13 @@ __all__ = [
     "PolicyComparison",
     "RunResult",
     "Table1Result",
-    "aging_impact",
     "build_filesystem",
     "compare_policies",
     "file_per_process_gap",
     "fingerprint",
     "fragmentation_report",
     "interference_claim",
-    "macro_benchmarks",
-    "metarates_suite",
-    "micro_request_size",
-    "micro_stream_count",
-    "postmark_apps",
     "prealloc_waste",
     "run",
     "runner_names",
-    "table1_segments",
 ]

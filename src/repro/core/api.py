@@ -4,7 +4,7 @@ One-call entry points for the common things a user of the library does:
 build a file system from a named profile, compare allocation policies on a
 workload, and produce a fragmentation report for a file.  Examples and the
 CLI build on these; experiment runners live in
-:mod:`repro.core.experiments`.
+:mod:`repro.core.runners` behind :func:`repro.core.run.run`.
 """
 
 from __future__ import annotations

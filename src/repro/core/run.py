@@ -15,8 +15,9 @@ and ``trace`` — and all return a :class:`RunResult`:
 - ``trace`` holds the :class:`~repro.obs.trace.Tracer` when tracing was
   requested, ready for :func:`repro.obs.to_chrome` / ``to_jsonl`` export.
 
-The legacy per-figure functions in :mod:`repro.core.experiments` are thin
-deprecation shims over this module.
+Execution strategy — ``jobs`` (parallel sweep cells) and the
+``FSConfig.execution`` profile — never changes a result, only how fast it
+is produced, so neither participates in fingerprints.
 """
 
 from __future__ import annotations
@@ -104,11 +105,19 @@ def run(
     name: str,
     *,
     scale: float = 1.0,
+    jobs: int | None = None,
+    config: Any = None,
     seed: int = 0,
     trace: Tracer | bool | None = None,
     **kwargs: Any,
 ) -> RunResult:
     """Run the registered experiment ``name`` and return its RunResult.
+
+    The unified invocation surface: every runner takes keyword-only
+    ``scale``, ``seed`` and ``trace``; ``jobs`` fans sweep cells out over
+    worker processes and ``config`` supplies an :class:`~repro.config.FSConfig`
+    to runners that accept one — both are forwarded only when set, and
+    neither changes a result (or its fingerprint), only how it is produced.
 
     ``trace=True`` records into a fresh bounded :class:`Tracer` (returned
     as ``result.trace``); passing a Tracer records into it; ``None``/
@@ -121,6 +130,10 @@ def run(
         raise ConfigError(
             f"unknown runner {name!r}; choose from {sorted(RUNNERS)}"
         ) from None
+    if jobs is not None:
+        kwargs["jobs"] = jobs
+    if config is not None:
+        kwargs["config"] = config
     return fn(scale=scale, seed=seed, trace=trace, **kwargs)
 
 

@@ -5,9 +5,7 @@ Each runner here follows the unified calling convention of
 and returns a :class:`~repro.core.run.RunResult`: per-phase
 :class:`~repro.sim.metrics.ThroughputResult` records, the whole run's
 metrics snapshot (counters + histograms) and the figure-specific payload
-dataclass.  The per-figure payloads are defined here and re-exported by
-:mod:`repro.core.experiments`, whose legacy functions are deprecation
-shims returning ``run(...).payload``.
+dataclass, which is defined alongside its runner in this module.
 
 Runners share one :class:`~repro.sim.metrics.Metrics` bag and one tracer
 across their sub-runs; per-sub-run accounting diffs snapshots instead of
@@ -39,6 +37,8 @@ from repro.meta.mds import MetadataServer
 from repro.obs.layout import LayoutInspector, LayoutReport
 from repro.obs.trace import NullTracer, Tracer, coerce_tracer
 from repro.rng import derive_rng
+from repro.sim.clock import SimClock
+from repro.sim.events import EventLoop, Station
 from repro.sim.metrics import Metrics, MetricsSnapshot, ThroughputResult
 from repro.units import KiB, MiB
 from repro.workloads.aging import age_metadata_fs
@@ -48,11 +48,31 @@ from repro.workloads.filesizes import kernel_tree_sizes
 from repro.workloads.ior import IORBenchmark
 from repro.workloads.metarates import MetaratesWorkload
 from repro.workloads.postmark import PostMarkConfig, PostMarkResult, PostMarkWorkload
+from repro.workloads.service import (
+    ServiceSpec,
+    ServiceWorkload,
+    resolve_duration,
+    resolve_rate,
+)
 from repro.workloads.streams import SharedFileMicrobench
 
 
 def _scaled(value: int, scale: float, floor: int = 1) -> int:
     return max(floor, int(value * scale))
+
+
+def _resolve_execution(execution: str, legacy_io: bool | None) -> str:
+    """Fold the deprecated ``legacy_io`` runner kwarg into ``execution``."""
+    if legacy_io is None:
+        return execution
+    import warnings
+
+    warnings.warn(
+        "legacy_io= is deprecated; pass execution='legacy' (or 'batched') instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return "legacy" if legacy_io else "batched"
 
 
 class _Context:
@@ -313,9 +333,10 @@ class Fig7Result:
 def _fig7_cell(spec, tracer=None) -> CellResult:
     """One (collective, policy, app) macro-benchmark run of Fig. 7.
 
-    A truthy trailing spec element selects the legacy I/O path (no request
-    batching, scalar disk model) — same results, used only by the perf
-    harness as its wall-clock baseline.
+    A trailing spec element carries the execution profile;
+    ``execution="legacy"`` selects the scalar paths (no request batching,
+    scalar disk model) — same results, used only by the perf harness as
+    its wall-clock baseline.
     """
     scale, seed, ndisks, collective, policy, app, *rest = spec
     del seed  # the macro benchmarks are deterministic; kept in the spec shape
@@ -323,7 +344,7 @@ def _fig7_cell(spec, tracer=None) -> CellResult:
     tag = f"{policy}:{'coll' if collective else 'indep'}"
     cfg = with_alloc_policy(redbud_vanilla_profile(ndisks=ndisks), policy)
     if rest and rest[0]:
-        cfg = replace(cfg, io_batching=False, vectorized_disks=False)
+        cfg = replace(cfg, execution=rest[0])
     plane = cell.plane(cfg)
     snap = cell.metrics.snapshot()
     if app == "IOR":
@@ -368,21 +389,24 @@ def macro_benchmarks(
     collectives: tuple[bool, ...] = (False, True),
     ndisks: int = 8,
     jobs: int | None = None,
-    legacy_io: bool = False,
+    execution: str = "batched",
+    legacy_io: bool | None = None,
 ) -> RunResult:
     """Fig. 7: IOR2 and BTIO under reservation vs on-demand, with and
     without collective I/O (paper: 16 nodes × 4 cores, 8 disks).
 
-    ``legacy_io`` and ``jobs`` change only execution strategy, never the
-    result, so neither participates in the fingerprint.
+    ``execution`` and ``jobs`` change only execution strategy, never the
+    result, so neither participates in the fingerprint.  ``legacy_io`` is
+    a deprecated alias for ``execution="legacy"``.
     """
+    execution = _resolve_execution(execution, legacy_io)
     run = _Run(
         "fig7", trace, scale=scale, seed=seed, policies=policies,
         collectives=collectives, ndisks=ndisks,
     )
     payload = Fig7Result()
     specs = [
-        (scale, seed, ndisks, collective, policy, app, legacy_io)
+        (scale, seed, ndisks, collective, policy, app, execution)
         for collective in collectives
         for policy in policies
         for app in ("IOR", "BTIO")
@@ -497,15 +521,14 @@ class Fig8Result:
 def _fig8_profile_cell(spec, tracer=None) -> CellResult:
     """All four metarates workloads against one profile's MDS.
 
-    A truthy trailing spec element selects the legacy metadata path
-    (scalar plan execution, scalar disk model) — same results, used only
-    by the perf harness as its wall-clock baseline.
+    A trailing spec element carries the execution profile;
+    ``execution="legacy"`` selects the scalar metadata path (scalar plan
+    execution, scalar disk model) — same results, used only by the perf
+    harness as its wall-clock baseline.
     """
     scale, cfg, *rest = spec
     if rest and rest[0]:
-        cfg = replace(
-            cfg, meta_batching=False, io_batching=False, vectorized_disks=False
-        )
+        cfg = replace(cfg, execution=rest[0])
     cell = _Cell(tracer)
     files_per_dir = _scaled(5000, scale, floor=200)
     wl = MetaratesWorkload(nclients=10, files_per_dir=files_per_dir)
@@ -535,10 +558,7 @@ def _fig8_dirsize_cell(spec, tracer=None) -> CellResult:
     counts: dict[str, int] = {}
     for cfg in (redbud_vanilla_profile(), redbud_mif_profile()):
         if rest and rest[0]:
-            cfg = replace(
-                cfg, meta_batching=False, io_batching=False,
-                vectorized_disks=False,
-            )
+            cfg = replace(cfg, execution=rest[0])
         mds = cell.mds(cfg)
         wl = MetaratesWorkload(nclients=2, files_per_dir=size)
         dirs = wl.setup_dirs(mds)
@@ -560,14 +580,17 @@ def metarates_suite(
     profiles: tuple[FSConfig, ...] | None = None,
     dir_sizes: tuple[int, ...] = (1000, 5000, 10000),
     jobs: int | None = None,
-    legacy_io: bool = False,
+    execution: str = "batched",
+    legacy_io: bool | None = None,
 ) -> RunResult:
     """Fig. 8: utime/create (a), delete (b) and readdir-stat (c) throughput
     and disk-access counts, plus the dir-size sweep for readdir-stat.
 
-    ``legacy_io`` and ``jobs`` change only execution strategy, never the
-    result, so neither participates in the fingerprint.
+    ``execution`` and ``jobs`` change only execution strategy, never the
+    result, so neither participates in the fingerprint.  ``legacy_io`` is
+    a deprecated alias for ``execution="legacy"``.
     """
+    execution = _resolve_execution(execution, legacy_io)
     run = _Run(
         "fig8", trace, scale=scale, seed=seed,
         profiles=None if profiles is None else tuple(p.name for p in profiles),
@@ -576,7 +599,7 @@ def metarates_suite(
     if profiles is None:
         profiles = (redbud_vanilla_profile(), lustre_profile(), redbud_mif_profile())
     payload = Fig8Result()
-    profile_specs = [(scale, cfg, legacy_io) for cfg in profiles]
+    profile_specs = [(scale, cfg, execution) for cfg in profiles]
     for cell in run_cells(
         profile_specs, _fig8_profile_cell, jobs=jobs, tracer=run.tracer
     ):
@@ -585,7 +608,7 @@ def metarates_suite(
     # readdir-stat proportion vs directory size (§V.D.1's prefetch effect).
     # Absolute directory sizes on purpose: the effect *is* the size trend,
     # so rescaling it away would leave quantization noise.
-    size_specs = [(size, legacy_io) for size in dir_sizes]
+    size_specs = [(size, execution) for size in dir_sizes]
     for (size, _), cell in zip(
         size_specs,
         run_cells(size_specs, _fig8_dirsize_cell, jobs=jobs, tracer=run.tracer),
@@ -909,6 +932,7 @@ def fault_campaign(
     scale: float = 1.0,
     seed: int = 0,
     trace: Tracer | NullTracer | bool | None = None,
+    jobs: int | None = None,
 ) -> RunResult:
     """Three-phase robustness campaign:
 
@@ -921,7 +945,11 @@ def fault_campaign(
        bad sectors and heals them by rewriting.
     3. **Repair**: the structural corruptor damages both planes and the
        fsck repair routines fix them, proving the dirty→clean round trip.
+
+    The campaign is one sequential cell, so ``jobs`` is accepted for the
+    unified ``run()`` surface but has nothing to fan out.
     """
+    del jobs
     run = _Run("faults", trace, scale=scale, seed=seed)
     cfg = redbud_mif_profile()
 
@@ -1027,4 +1055,213 @@ def fault_campaign(
         mds_repair=mds_repair,
         plane_repair=plane_repair,
     )
+    return run.result(payload)
+
+
+# ---------------------------------------------------------------------------
+# Open-loop service mode: arrival-rate-driven latency under load
+# ---------------------------------------------------------------------------
+
+@dataclass
+class StationReport:
+    """One service center's open-loop outcome at one operating point."""
+
+    name: str
+    offered: int
+    started: int
+    completed: int
+    dropped: int
+    busy_s: float
+    #: Busy fraction of the arrival window (> 1.0 = backlog outlived it).
+    saturation: float
+    #: Completions per simulated second of the arrival window.
+    goodput_ops_s: float
+    p50_s: float
+    p99_s: float
+    p999_s: float
+    mean_latency_s: float
+    mean_queue_depth: float
+    p99_queue_depth: float
+
+    @property
+    def drop_fraction(self) -> float:
+        return self.dropped / self.offered if self.offered else 0.0
+
+
+@dataclass
+class ServiceCell:
+    """One (rate, …) operating point: arrivals plus per-station reports."""
+
+    rate: float
+    streams: int
+    duration_s: float
+    queue_depth: int
+    arrivals: int
+    active_streams: int
+    stations: dict[str, StationReport] = field(default_factory=dict)
+
+    def station(self, name: str) -> StationReport:
+        try:
+            return self.stations[name]
+        except KeyError:
+            raise KeyError(
+                f"no station {name!r}; known: {sorted(self.stations)}"
+            ) from None
+
+
+@dataclass
+class ServiceReport:
+    """Payload of the ``service`` runner: one cell per swept rate."""
+
+    cells: list[ServiceCell] = field(default_factory=list)
+
+    def get(self, rate: float) -> ServiceCell:
+        for cell in self.cells:
+            if cell.rate == rate:
+                return cell
+        raise KeyError(f"no cell at rate {rate}; known: {[c.rate for c in self.cells]}")
+
+
+def _station_report(st, duration_s: float) -> StationReport:
+    lat = st.latency.snapshot()
+    q = st.queue_depth.snapshot()
+    return StationReport(
+        name=st.name,
+        offered=st.offered,
+        started=st.started,
+        completed=st.completed,
+        dropped=st.dropped,
+        busy_s=st.busy_s,
+        saturation=st.saturation(duration_s),
+        goodput_ops_s=st.completed / duration_s if duration_s > 0 else 0.0,
+        p50_s=lat.percentile(50.0),
+        p99_s=lat.percentile(99.0),
+        p999_s=lat.percentile(99.9),
+        mean_latency_s=lat.mean,
+        mean_queue_depth=q.mean,
+        p99_queue_depth=q.percentile(99.0),
+    )
+
+
+def _service_cell(spec, tracer=None) -> CellResult:
+    """One open-loop operating point: build, arrive, drain, report."""
+    svc, cfg, execution = spec
+    if execution:
+        cfg = replace(cfg, execution=execution)
+    cell = _Cell(tracer)
+    plane = cell.plane(cfg)
+    mds = cell.mds(cfg)
+    wl = ServiceWorkload(svc, plane, mds)
+    wl.setup()
+
+    loop = EventLoop(SimClock())
+    stations = {
+        "data": Station("data", wl.data_service, svc.queue_depth),
+        "meta": Station("meta", wl.meta_service, svc.queue_depth),
+    }
+    moved = {"bytes": 0}
+
+    def arrive(station, op_bytes):
+        def on_event(now, op):
+            if station.offer(now, op) is not None:
+                moved["bytes"] += op_bytes(op)
+        return on_event
+
+    for kind in ServiceWorkload.KINDS:
+        station = stations["meta" if kind == "meta" else "data"]
+        loop.add_source(wl.events(kind), arrive(station, wl.bytes_for))
+    loop.run(until=svc.duration_s)
+    for st in stations.values():
+        st.drain()
+
+    label = f"service:r{svc.rate:g}"
+    cell.phase(
+        label,
+        ThroughputResult(
+            bytes_moved=moved["bytes"],
+            elapsed=svc.duration_s,
+            ops=sum(st.started for st in stations.values()),
+        ),
+    )
+    for name, st in stations.items():
+        cell.metrics.histogram_ref(f"service.{name}.latency_s").absorb(
+            st.latency.snapshot()
+        )
+        cell.metrics.histogram_ref(f"service.{name}.queue_depth").absorb(
+            st.queue_depth.snapshot()
+        )
+        cell.metrics.incr(f"service.{name}.dropped", st.dropped)
+    payload = ServiceCell(
+        rate=svc.rate,
+        streams=svc.streams,
+        duration_s=svc.duration_s,
+        queue_depth=svc.queue_depth,
+        arrivals=loop.processed,
+        active_streams=wl.active_streams,
+        stations={name: _station_report(st, svc.duration_s) for name, st in stations.items()},
+    )
+    return cell.result(payload)
+
+
+@register("service")
+def service_mode(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    trace: Tracer | NullTracer | bool | None = None,
+    streams: int = 1000,
+    rate: str | float = "small",
+    duration: str | float = "short",
+    queue_depth: int = 64,
+    rates: tuple[str | float, ...] | None = None,
+    read_fraction: float = 0.35,
+    meta_fraction: float = 0.20,
+    request_bytes: int = 64 * KiB,
+    config: FSConfig | None = None,
+    jobs: int | None = None,
+    execution: str = "batched",
+    legacy_io: bool | None = None,
+) -> RunResult:
+    """Open-loop service mode: latency under a fixed offered load.
+
+    ``streams`` clients each arrive at ``rate`` ops/s (named "small" /
+    "medium" / "large" or an explicit number) for ``duration`` simulated
+    seconds ("short"/"long" or seconds; multiplied by ``scale``).  Data
+    and metadata operations queue at bounded-depth stations over the disk
+    array and the MDS; the payload reports p50/p99/p999 sojourn times,
+    queue depths, drops, saturation and goodput per station.  ``rates``
+    sweeps several operating points as independent cells (``jobs`` fans
+    them out; results are identical at any job count).
+    """
+    execution = _resolve_execution(execution, legacy_io)
+    rate_points = tuple(resolve_rate(r) for r in (rates if rates is not None else (rate,)))
+    duration_s = resolve_duration(duration) * scale
+    cfg = config if config is not None else redbud_mif_profile()
+    run = _Run(
+        "service", trace, scale=scale, seed=seed, streams=streams,
+        rates=rate_points, duration_s=duration_s, queue_depth=queue_depth,
+        read_fraction=read_fraction, meta_fraction=meta_fraction,
+        request_bytes=request_bytes, profile=cfg.name,
+    )
+    specs = [
+        (
+            ServiceSpec(
+                streams=streams,
+                rate=r,
+                duration_s=duration_s,
+                queue_depth=queue_depth,
+                read_fraction=read_fraction,
+                meta_fraction=meta_fraction,
+                request_bytes=request_bytes,
+                seed=seed,
+            ),
+            cfg,
+            execution,
+        )
+        for r in rate_points
+    ]
+    payload = ServiceReport()
+    for cell in run_cells(specs, _service_cell, jobs=jobs, tracer=run.tracer):
+        run.absorb(cell)
+        payload.cells.append(cell.payload)
     return run.result(payload)

@@ -2,11 +2,14 @@
 
 from repro.workloads.base import (
     FsyncOp,
+    MetaOp,
     ReadOp,
     StreamProgram,
     WriteOp,
+    drive,
     run_data_phase,
 )
+from repro.workloads.service import ServiceSpec, ServiceWorkload
 from repro.workloads.traces import TraceRecord, synth_checkpoint_trace
 from repro.workloads.streams import SharedFileMicrobench
 from repro.workloads.ior import IORBenchmark
@@ -23,8 +26,12 @@ __all__ = [
     "WriteOp",
     "ReadOp",
     "FsyncOp",
+    "MetaOp",
     "StreamProgram",
+    "drive",
     "run_data_phase",
+    "ServiceSpec",
+    "ServiceWorkload",
     "TraceRecord",
     "synth_checkpoint_trace",
     "SharedFileMicrobench",

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.fs.redbud import RedbudFileSystem
+from repro.workloads.base import MetaOp, drive, mds_executor
 from repro.workloads.filesizes import kernel_tree_sizes, tarball_bytes
 
 
@@ -68,7 +69,16 @@ class KernelTree:
 
 
 class _AppBase:
-    """Shared timing harness: wraps a body in MDS/data/CPU accounting."""
+    """Shared timing harness: drives the app's event-stream program
+    (:meth:`program`) against the file system with MDS/data/CPU accounting.
+
+    Application programs are result-dependent — tar lists a directory
+    before reading its files, make compiles what ``readdir`` reports — so
+    they use the send-based protocol of
+    :func:`repro.workloads.base.drive`: each yielded
+    :class:`~repro.workloads.base.MetaOp`'s return value is sent back into
+    the generator.
+    """
 
     #: Extra client-side CPU seconds charged per operated file.
     cpu_s_per_file = 0.0
@@ -79,7 +89,7 @@ class _AppBase:
     def run(self, fs: RedbudFileSystem, root: str) -> AppResult:
         mds0 = fs.mds.elapsed_s
         data0 = fs.data.array.total_busy_s
-        ops = self._body(fs, root)
+        ops = drive(self.program(root), mds_executor(fs))
         mds_s = fs.mds.elapsed_s - mds0
         data_s = fs.data.array.total_busy_s - data0
         cpu_s = ops * self.cpu_s_per_file
@@ -91,7 +101,7 @@ class _AppBase:
             ops=ops,
         )
 
-    def _body(self, fs: RedbudFileSystem, root: str) -> int:
+    def program(self, root: str):
         raise NotImplementedError
 
 
@@ -101,24 +111,22 @@ class TarApp(_AppBase):
 
     cpu_s_per_file = 2e-5  # header formatting + gzip of a few KiB
 
-    def _body(self, fs: RedbudFileSystem, root: str) -> int:
+    def program(self, root: str):
         ops = 0
-        total = 0
         for d in range(self.tree.dirs):
             dpath = f"{root}/dir{d:03d}"
-            inodes = fs.readdir_stat(dpath)
+            inodes = yield (0.0, MetaOp("readdir_stat", (dpath,)))
             ops += 1
             for inode in inodes:
                 path = f"{dpath}/{inode.name}"
-                f = fs.file_handle(path)
+                f = yield (0.0, MetaOp("file_handle", (path,)))
                 size = max(1, f.size_bytes)
-                fs.open(path)
-                fs.read(path, 0, size)
-                total += size
+                yield (0.0, MetaOp("open", (path,)))
+                yield (0.0, MetaOp("read", (path, 0, size)))
                 ops += 1
         archive = f"{root}/archive.tar.gz"
-        fs.create(archive)
-        fs.write(archive, 0, max(1, tarball_bytes(self.tree.sizes())))
+        yield (0.0, MetaOp("create", (archive,)))
+        yield (0.0, MetaOp("write", (archive, 0, max(1, tarball_bytes(self.tree.sizes())))))
         ops += 1
         return ops
 
@@ -130,22 +138,24 @@ class MakeApp(_AppBase):
 
     cpu_s_per_file = 1e-2  # compilation dominates
 
-    def _body(self, fs: RedbudFileSystem, root: str) -> int:
+    def program(self, root: str):
         ops = 0
         sizes = self.tree.sizes()
         i = 0
         for d in range(self.tree.dirs):
             dpath = f"{root}/dir{d:03d}"
-            for name in fs.readdir(dpath):
+            names = yield (0.0, MetaOp("readdir", (dpath,)))
+            for name in names:
                 if not name.endswith(".c"):
                     continue
                 src = f"{dpath}/{name}"
-                fs.open(src)
-                fs.read(src, 0, max(1, fs.file_handle(src).size_bytes))
+                yield (0.0, MetaOp("open", (src,)))
+                handle = yield (0.0, MetaOp("file_handle", (src,)))
+                yield (0.0, MetaOp("read", (src, 0, max(1, handle.size_bytes))))
                 obj = f"{dpath}/{name[:-2]}.o"
-                fs.create(obj)
+                yield (0.0, MetaOp("create", (obj,)))
                 # Object files are roughly source-sized for -O0 builds.
-                fs.write(obj, 0, int(max(1, sizes[min(i, sizes.size - 1)])))
+                yield (0.0, MetaOp("write", (obj, 0, int(max(1, sizes[min(i, sizes.size - 1)])))))
                 i += 1
                 ops += 1
         return ops
@@ -156,12 +166,13 @@ class MakeCleanApp(_AppBase):
 
     cpu_s_per_file = 1e-6
 
-    def _body(self, fs: RedbudFileSystem, root: str) -> int:
+    def program(self, root: str):
         ops = 0
         for d in range(self.tree.dirs):
             dpath = f"{root}/dir{d:03d}"
-            for name in list(fs.readdir(dpath)):
+            names = yield (0.0, MetaOp("readdir", (dpath,)))
+            for name in list(names):
                 if name.endswith(".o"):
-                    fs.unlink(f"{dpath}/{name}")
+                    yield (0.0, MetaOp("unlink", (f"{dpath}/{name}",)))
                     ops += 1
         return ops

@@ -1,18 +1,39 @@
-"""Operation records and the concurrent-phase runner.
+"""Operation records, the event-stream protocol and the phase runners.
 
-Concurrency model: client threads are *synchronous* — each has one request
-outstanding — and the runner executes them in lock-step rounds.  Every
-round gathers the next operation of each still-active stream (this is the
-"order of arrival time" interleaving of Figure 1(a)), maps them through the
-data plane, and submits the union of their physical requests to the disk
-array as one concurrent batch for the elevator to arrange.
+Workloads describe themselves as **event streams**: seeded lazy iterators
+yielding ``(arrival_dt, op)`` events, where ``arrival_dt`` is the think
+time since the stream's previous operation (0.0 for the closed-loop
+benchmarks, which issue back-to-back) and ``op`` is a data-plane
+:data:`Op` or a metadata :class:`MetaOp`.  Generators may also yield bare
+ops — :func:`as_event` normalizes either shape.  Nothing is materialized
+up front: a :class:`StreamProgram` built from a factory re-derives its
+operations on every iteration, so a million-stream program costs no more
+memory than its generator state.
+
+Two consumers share the protocol:
+
+- the **closed-loop** runner below (:func:`run_data_phase`), which drops
+  the arrival gaps and executes lock-step rounds: client threads are
+  *synchronous* — each has one request outstanding — and every round
+  gathers the next operation of each still-active stream (the "order of
+  arrival time" interleaving of Figure 1(a)), maps them through the data
+  plane, and submits the union of their physical requests to the disk
+  array as one concurrent batch for the elevator to arrange;
+- the **open-loop** service runner (:mod:`repro.sim.events`), which
+  honours the arrival gaps and enqueues ops without waiting for
+  completion.
+
+Result-dependent metadata workloads (a build reads ``readdir`` output
+before deciding what to compile) use the send-based :func:`drive`
+protocol: the executor sends each call's result back into the generator.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Callable, Generator, Iterable, Iterator
 from dataclasses import dataclass
 from operator import attrgetter
+from typing import Any
 
 import numpy as np
 
@@ -49,22 +70,117 @@ class FsyncOp:
     file: RedbudFile
 
 
+@dataclass(frozen=True, slots=True)
+class MetaOp:
+    """One metadata call: a method name on the MDS/filesystem plus args.
+
+    Executors resolve ``method`` against whatever object they drive
+    (:class:`~repro.meta.mds.MetadataServer` or
+    :class:`~repro.fs.redbud.RedbudFileSystem`) and, under the
+    :func:`drive` protocol, send the call's return value back into the
+    generator that yielded the op.
+    """
+
+    method: str
+    args: tuple = ()
+
+
 Op = WriteOp | ReadOp | FsyncOp
+
+#: An event is an operation plus the think-time gap (seconds) since the
+#: stream's previous operation.
+Event = tuple[float, "Op | MetaOp"]
 
 #: Writeback sort key (C-level attrgetter; same ordering as the old
 #: ``lambda r: r.start``, and equally stable).
 _request_start = attrgetter("start")
 
 
+def as_event(item: Event | Op | MetaOp) -> Event:
+    """Normalize a yielded item to ``(arrival_dt, op)`` (bare op → dt 0)."""
+    if type(item) is tuple:
+        return item
+    return (0.0, item)
+
+
+def drive(
+    gen: Generator[Any, Any, Any],
+    execute: Callable[[MetaOp], Any],
+) -> Any:
+    """Run a send-based meta program to completion; returns its value.
+
+    ``gen`` yields :class:`MetaOp` events (bare or ``(dt, op)``); each
+    op's result is sent back into the generator, preserving the exact
+    call order of the hand-rolled loops this protocol replaced.  The
+    generator's ``return`` value (op count, handles, ...) is returned.
+    """
+    try:
+        item = next(gen)
+        while True:
+            _, op = as_event(item)
+            item = gen.send(execute(op))
+    except StopIteration as stop:
+        return stop.value
+
+
+def mds_executor(mds: Any) -> Callable[[MetaOp], Any]:
+    """Executor resolving :class:`MetaOp` methods against ``mds``/``fs``."""
+
+    def execute(op: MetaOp) -> Any:
+        return getattr(mds, op.method)(*op.args)
+
+    return execute
+
+
+class _LazySource:
+    """Re-iterable view over an event-stream factory, yielding bare ops.
+
+    Wraps a zero-arg callable returning a fresh event iterator; every
+    ``iter()`` re-derives the sequence, so nothing is materialized and the
+    program can be consumed any number of times (write phase, read-back,
+    equivalence tests).
+    """
+
+    __slots__ = ("factory",)
+
+    def __init__(self, factory: Callable[[], Iterator[Event | Op]]) -> None:
+        self.factory = factory
+
+    def __iter__(self) -> Iterator[Op]:
+        for item in self.factory():
+            yield item[1] if type(item) is tuple else item
+
+    def events(self) -> Iterator[Event]:
+        for item in self.factory():
+            yield item if type(item) is tuple else (0.0, item)
+
+
 @dataclass
 class StreamProgram:
-    """One client thread: a stream id plus its operation sequence."""
+    """One client stream: a stream id plus its operation source.
+
+    ``ops`` is either a concrete iterable of ops (legacy, still supported
+    for hand-built programs in tests) or a zero-arg callable returning a
+    fresh event iterator — the lazy protocol every bundled workload now
+    uses.  Iterating the program always yields bare ops; :meth:`events`
+    yields ``(arrival_dt, op)`` pairs for arrival-aware consumers.
+    """
 
     stream: StreamId
-    ops: Iterable[Op]
+    ops: Iterable[Op] | Callable[[], Iterator[Event | Op]]
+
+    def __post_init__(self) -> None:
+        if callable(self.ops):
+            self.ops = _LazySource(self.ops)
 
     def __iter__(self) -> Iterator[Op]:
         return iter(self.ops)
+
+    def events(self) -> Iterator[Event]:
+        """The program as ``(arrival_dt, op)`` events (bare ops get 0.0)."""
+        if isinstance(self.ops, _LazySource):
+            return self.ops.events()
+        return ((0.0, op) for op in self.ops)
 
 
 def run_data_phase(

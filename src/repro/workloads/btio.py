@@ -66,20 +66,23 @@ class BTIOBenchmark:
     def create_file(self, plane: DataPlane, name: str = "/btio.out") -> RedbudFile:
         return plane.create_file(name, expected_bytes=self.file_bytes)
 
-    def _write_programs(self, f: RedbudFile) -> list[StreamProgram]:
+    def _programs(self, f: RedbudFile, op_cls) -> list[StreamProgram]:
         step_total = self.nprocs * self.step_bytes_per_proc
         if self.collective:
             # Each step's wave is re-aggregated into contiguous slabs.
             nstreams = self.aggregators
             slab = step_total // nstreams
-            programs: list[list[WriteOp]] = [[] for _ in range(nstreams)]
-            for step in range(self.steps):
-                base = step * step_total
-                for a in range(nstreams):
-                    programs[a].append(WriteOp(f, base + a * slab, slab))
+
+            def make_collective(a):
+                def events():
+                    for step in range(self.steps):
+                        yield (0.0, op_cls(f, step * step_total + a * slab, slab))
+
+                return events
+
             return [
-                StreamProgram(stream=make_stream_id(a, 0), ops=ops)
-                for a, ops in enumerate(programs)
+                StreamProgram(stream=make_stream_id(a, 0), ops=make_collective(a))
+                for a in range(nstreams)
             ]
         # Non-collective: each process writes its cell rows as contiguous
         # sub-runs (chunk-sized writes within a row), but successive rows of
@@ -87,23 +90,28 @@ class BTIOBenchmark:
         # diagonally — row r of the step is owned by process (p + r) mod n.
         rows_per_step = self.step_bytes_per_proc // self.subrun_bytes
         chunks_per_row = self.subrun_bytes // self.chunk_bytes
-        per_proc: list[list[WriteOp]] = [[] for _ in range(self.nprocs)]
         ncells = int(round(math.sqrt(self.nprocs)))
         assert ncells * ncells == self.nprocs
-        for step in range(self.steps):
-            base = step * step_total
-            for r in range(rows_per_step):
-                for p in range(self.nprocs):
-                    slot = (p + r) % self.nprocs
-                    row_base = base + (r * self.nprocs + slot) * self.subrun_bytes
-                    for c in range(chunks_per_row):
-                        per_proc[p].append(
-                            WriteOp(f, row_base + c * self.chunk_bytes, self.chunk_bytes)
-                        )
+
+        def make_events(p):
+            def events():
+                for step in range(self.steps):
+                    base = step * step_total
+                    for r in range(rows_per_step):
+                        slot = (p + r) % self.nprocs
+                        row_base = base + (r * self.nprocs + slot) * self.subrun_bytes
+                        for c in range(chunks_per_row):
+                            yield (0.0, op_cls(f, row_base + c * self.chunk_bytes, self.chunk_bytes))
+
+            return events
+
         return [
-            StreamProgram(stream=make_stream_id(p // 4, p % 4), ops=ops)
-            for p, ops in enumerate(per_proc)
+            StreamProgram(stream=make_stream_id(p // 4, p % 4), ops=make_events(p))
+            for p in range(self.nprocs)
         ]
+
+    def _write_programs(self, f: RedbudFile) -> list[StreamProgram]:
+        return self._programs(f, WriteOp)
 
     def write_phase(self, plane: DataPlane, f: RedbudFile) -> ThroughputResult:
         return run_data_phase(plane, self._write_programs(f))
@@ -111,26 +119,7 @@ class BTIOBenchmark:
     def read_phase(self, plane: DataPlane, f: RedbudFile) -> ThroughputResult:
         """Solution verification: each process reads back its *own* cells
         with the same decomposition it wrote them with (BTIO's -rcheck)."""
-        if self.collective:
-            step_total = self.nprocs * self.step_bytes_per_proc
-            slab = step_total // self.aggregators
-            programs: list[StreamProgram] = []
-            for a in range(self.aggregators):
-                ops = [
-                    ReadOp(f, step * step_total + a * slab, slab)
-                    for step in range(self.steps)
-                ]
-                programs.append(StreamProgram(stream=make_stream_id(a, 0), ops=ops))
-            return run_data_phase(plane, programs)
-        write_programs = self._write_programs(f)
-        programs = [
-            StreamProgram(
-                stream=p.stream,
-                ops=[ReadOp(op.file, op.offset, op.nbytes) for op in p.ops],
-            )
-            for p in write_programs
-        ]
-        return run_data_phase(plane, programs)
+        return run_data_phase(plane, self._programs(f, ReadOp))
 
     def run(self, plane: DataPlane, name: str = "/btio.out") -> ThroughputResult:
         f = self.create_file(plane, name)

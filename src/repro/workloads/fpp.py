@@ -51,31 +51,36 @@ class FilePerProcessBench:
             for p in range(self.nstreams)
         ]
 
+    def _sequential_events(self, f: RedbudFile, op_cls, request_bytes: int):
+        """Lazy factory: cover ``f`` sequentially in ``request_bytes`` ops."""
+
+        def events():
+            for off in range(0, self.file_bytes, request_bytes):
+                yield (0.0, op_cls(f, off, min(request_bytes, self.file_bytes - off)))
+
+        return events
+
     def phase1_write(self, plane: DataPlane, files: list[RedbudFile]) -> ThroughputResult:
         """Each process appends its own file; arrivals still interleave at
         the allocator (the processes run concurrently)."""
-        programs = []
-        for p, f in enumerate(files):
-            ops = [
-                WriteOp(f, off, min(self.write_request_bytes, self.file_bytes - off))
-                for off in range(0, self.file_bytes, self.write_request_bytes)
-            ]
-            programs.append(
-                StreamProgram(stream=make_stream_id(p // 4, p % 4), ops=ops)
+        programs = [
+            StreamProgram(
+                stream=make_stream_id(p // 4, p % 4),
+                ops=self._sequential_events(f, WriteOp, self.write_request_bytes),
             )
+            for p, f in enumerate(files)
+        ]
         return run_data_phase(plane, programs, seed=self.seed)
 
     def phase2_read(self, plane: DataPlane, files: list[RedbudFile]) -> ThroughputResult:
         """Read everything back, each process its own file sequentially."""
-        programs = []
-        for p, f in enumerate(files):
-            ops = [
-                ReadOp(f, off, min(self.read_request_bytes, self.file_bytes - off))
-                for off in range(0, self.file_bytes, self.read_request_bytes)
-            ]
-            programs.append(
-                StreamProgram(stream=make_stream_id(1000 + p // 4, p % 4), ops=ops)
+        programs = [
+            StreamProgram(
+                stream=make_stream_id(1000 + p // 4, p % 4),
+                ops=self._sequential_events(f, ReadOp, self.read_request_bytes),
             )
+            for p, f in enumerate(files)
+        ]
         return run_data_phase(plane, programs, seed=self.seed)
 
     def run(self, plane: DataPlane) -> tuple[ThroughputResult, ThroughputResult]:

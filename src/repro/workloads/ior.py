@@ -61,18 +61,23 @@ class IORBenchmark:
             nstreams = self.nprocs
             share = self.share_bytes
             request = self.request_bytes
-        programs: list[StreamProgram] = []
-        for p in range(nstreams):
-            ops = []
-            base = p * share
-            cursor = 0
-            while cursor < share:
-                chunk = min(request, share - cursor)
-                op = (WriteOp if write else ReadOp)(f, base + cursor, chunk)
-                ops.append(op)
-                cursor += chunk
-            programs.append(StreamProgram(stream=make_stream_id(p // 4, p % 4), ops=ops))
-        return programs
+        op_cls = WriteOp if write else ReadOp
+
+        def make_events(p):
+            def events():
+                base = p * share
+                cursor = 0
+                while cursor < share:
+                    chunk = min(request, share - cursor)
+                    yield (0.0, op_cls(f, base + cursor, chunk))
+                    cursor += chunk
+
+            return events
+
+        return [
+            StreamProgram(stream=make_stream_id(p // 4, p % 4), ops=make_events(p))
+            for p in range(nstreams)
+        ]
 
     def write_phase(self, plane: DataPlane, f: RedbudFile) -> ThroughputResult:
         return run_data_phase(plane, self._programs(f, write=True))

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigError
 from repro.meta.mds import MetadataServer
 from repro.sim.metrics import ThroughputResult
+from repro.workloads.base import MetaOp, drive, mds_executor
 
 
 @dataclass(frozen=True)
@@ -62,37 +63,51 @@ class MdtestWorkload:
     def __init__(self, config: MdtestConfig) -> None:
         self.config = config
 
-    def run(self, mds: MetadataServer, cold_stat: bool = True) -> MdtestResult:
+    def tree_program(self, root):
+        """Phase-1 event stream: every task builds its tree, tasks
+        interleaving per level.  Receives each mkdir's handle back via
+        :func:`drive`; returns the per-task directory lists."""
         cfg = self.config
-        # Phase 1: every task builds its tree (tasks interleave per level).
-        t0 = mds.elapsed_s
         trees: list[list] = [[] for _ in range(cfg.ntasks)]
-        roots = [
-            mds.mkdir(mds.root, f"task{t:03d}") for t in range(cfg.ntasks)
-        ]
-        for t, root in enumerate(roots):
-            trees[t].append(root)
+        for t in range(cfg.ntasks):
+            handle = yield (0.0, MetaOp("mkdir", (root, f"task{t:03d}")))
+            trees[t].append(handle)
         frontier = [list(tree) for tree in trees]
         for level in range(cfg.depth):
             next_frontier: list[list] = [[] for _ in range(cfg.ntasks)]
             for width_idx in range(cfg.branch):
                 for t in range(cfg.ntasks):
                     for parent_idx, parent in enumerate(frontier[t]):
-                        d = mds.mkdir(
-                            parent, f"d{level}.{parent_idx}.{width_idx}"
+                        d = yield (
+                            0.0,
+                            MetaOp("mkdir", (parent, f"d{level}.{parent_idx}.{width_idx}")),
                         )
                         trees[t].append(d)
                         next_frontier[t].append(d)
             frontier = next_frontier
+        return trees
+
+    def item_program(self, trees: list[list], method: str):
+        """Per-item event stream (phases 2-4): ``method`` on every item of
+        every directory, tasks interleaved one op at a time."""
+        cfg = self.config
+        for i in range(cfg.items_per_dir):
+            for t in range(cfg.ntasks):
+                for di, d in enumerate(trees[t]):
+                    yield (0.0, MetaOp(method, (d, f"file.{di}.{i}")))
+
+    def run(self, mds: MetadataServer, cold_stat: bool = True) -> MdtestResult:
+        cfg = self.config
+        execute = mds_executor(mds)
+        # Phase 1: every task builds its tree (tasks interleave per level).
+        t0 = mds.elapsed_s
+        trees = drive(self.tree_program(mds.root), execute)
         ndirs = sum(len(tree) for tree in trees)
         dir_create_s = mds.elapsed_s - t0
 
         # Phase 2: create items in every directory, tasks interleaved.
         t0 = mds.elapsed_s
-        for i in range(cfg.items_per_dir):
-            for t in range(cfg.ntasks):
-                for di, d in enumerate(trees[t]):
-                    mds.create(d, f"file.{di}.{i}")
+        drive(self.item_program(trees, "create"), execute)
         nitems = cfg.ntasks * cfg.nitems
         file_create_s = mds.elapsed_s - t0
 
@@ -101,18 +116,12 @@ class MdtestWorkload:
             mds.flush()
             mds.drop_caches()
         t0 = mds.elapsed_s
-        for i in range(cfg.items_per_dir):
-            for t in range(cfg.ntasks):
-                for di, d in enumerate(trees[t]):
-                    mds.stat(d, f"file.{di}.{i}")
+        drive(self.item_program(trees, "stat"), execute)
         file_stat_s = mds.elapsed_s - t0
 
         # Phase 4: remove every item.
         t0 = mds.elapsed_s
-        for i in range(cfg.items_per_dir):
-            for t in range(cfg.ntasks):
-                for di, d in enumerate(trees[t]):
-                    mds.delete(d, f"file.{di}.{i}")
+        drive(self.item_program(trees, "delete"), execute)
         file_remove_s = mds.elapsed_s - t0
         mds.flush()
 

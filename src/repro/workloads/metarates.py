@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigError
 from repro.meta.mds import MetadataServer
 from repro.sim.metrics import ThroughputResult
+from repro.workloads.base import MetaOp, drive, mds_executor
 
 
 @dataclass(frozen=True)
@@ -46,55 +47,44 @@ class MetaratesWorkload:
     # -- the four Fig. 8 workloads -----------------------------------------------
     def run_create(self, mds: MetadataServer, dirs: list) -> ThroughputResult:
         """Concurrent create: clients round-robin one create at a time."""
-        return self._timed(mds, self._create_ops(mds, dirs))
+        return self._timed(mds, self.per_file_program(dirs, "create"))
 
     def run_utime(self, mds: MetadataServer, dirs: list) -> ThroughputResult:
-        return self._timed(mds, self._per_file_ops(mds, dirs, "utime"))
+        return self._timed(mds, self.per_file_program(dirs, "utime"))
 
     def run_delete(self, mds: MetadataServer, dirs: list) -> ThroughputResult:
-        return self._timed(mds, self._per_file_ops(mds, dirs, "delete"))
+        return self._timed(mds, self.per_file_program(dirs, "delete"))
 
     def run_readdir_stat(self, mds: MetadataServer, dirs: list, repeats: int = 1) -> ThroughputResult:
         """Aggregated readdirplus over every client directory."""
+        return self._timed(mds, self.readdir_stat_program(dirs, repeats))
 
-        def gen():
-            count = 0
-            for _ in range(repeats):
-                for d in dirs:
-                    inodes = mds.readdir_stat(d)
-                    count += 1 + len(inodes)  # readdir + per-entry stat results
-            return count
+    # -- lazy event-stream programs --------------------------------------------
+    def per_file_program(self, dirs: list, method: str):
+        """Round-robin ``method`` over every (file, client) pair: clients
+        take turns one op at a time, exactly the MDS-side interleaving of
+        Metarates' MPI coordination.  Yields ``(arrival_dt, MetaOp)``
+        events; returns the op count."""
+        count = 0
+        for i in range(self.files_per_dir):
+            for c, d in enumerate(dirs):
+                yield (0.0, MetaOp(method, (d, self._filename(c, i))))
+                count += 1
+        return count
 
-        return self._timed(mds, gen)
+    def readdir_stat_program(self, dirs: list, repeats: int = 1):
+        """Aggregated readdirplus; counts the readdir plus each returned
+        per-entry stat (results flow back through :func:`drive`)."""
+        count = 0
+        for _ in range(repeats):
+            for d in dirs:
+                inodes = yield (0.0, MetaOp("readdir_stat", (d,)))
+                count += 1 + len(inodes)  # readdir + per-entry stat results
+        return count
 
-    # -- helpers --------------------------------------------------------------
-    def _create_ops(self, mds: MetadataServer, dirs: list):
-        def gen():
-            count = 0
-            for i in range(self.files_per_dir):
-                for c, d in enumerate(dirs):
-                    mds.create(d, self._filename(c, i))
-                    count += 1
-            return count
-
-        return gen
-
-    def _per_file_ops(self, mds: MetadataServer, dirs: list, op: str):
-        fn = getattr(mds, op)
-
-        def gen():
-            count = 0
-            for i in range(self.files_per_dir):
-                for c, d in enumerate(dirs):
-                    fn(d, self._filename(c, i))
-                    count += 1
-            return count
-
-        return gen
-
-    def _timed(self, mds: MetadataServer, gen) -> ThroughputResult:
+    def _timed(self, mds: MetadataServer, program) -> ThroughputResult:
         start = mds.elapsed_s
-        ops = gen()
+        ops = drive(program, mds_executor(mds))
         mds.flush()
         return ThroughputResult(
             bytes_moved=0, elapsed=mds.elapsed_s - start, ops=ops

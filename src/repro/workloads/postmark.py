@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigError
 from repro.fs.redbud import RedbudFileSystem
 from repro.rng import derive_rng
+from repro.workloads.base import MetaOp, drive, mds_executor
 
 
 @dataclass(frozen=True)
@@ -56,19 +57,23 @@ class PostMarkWorkload:
     def __init__(self, config: PostMarkConfig) -> None:
         self.config = config
 
-    def run(self, fs: RedbudFileSystem) -> PostMarkResult:
+    def program(self):
+        """The whole PostMark run as one seeded lazy event stream.
+
+        Pool state (which files exist per client) lives in the generator;
+        file sizes are resolved at execution time by yielding a
+        ``file_handle`` call and reading the answer sent back through
+        :func:`drive`.  Returns (creates, deletes, reads, appends).
+        """
         cfg = self.config
         rng = derive_rng(cfg.seed, "postmark")
-        mds_start = fs.mds.elapsed_s
-        data_start = fs.data.array.total_busy_s
         creates = deletes = reads = appends = 0
 
         # Per-client directories and file pools.
         pools: list[list[str]] = []
         serial = 0
         for c in range(cfg.nclients):
-            d = f"/pm{c:03d}"
-            fs.mkdir(d)
+            yield (0.0, MetaOp("mkdir", (f"/pm{c:03d}",)))
             pools.append([])
         # Initial pool, clients interleaved.
         per_client = cfg.files // cfg.nclients
@@ -77,8 +82,8 @@ class PostMarkWorkload:
                 path = f"/pm{c:03d}/file{serial:07d}"
                 serial += 1
                 size = int(rng.integers(cfg.min_size, cfg.max_size + 1))
-                fs.create(path)
-                fs.write(path, 0, size)
+                yield (0.0, MetaOp("create", (path,)))
+                yield (0.0, MetaOp("write", (path, 0, size)))
                 pools[c].append(path)
                 creates += 1
 
@@ -91,34 +96,39 @@ class PostMarkWorkload:
                 path = f"/pm{c:03d}/file{serial:07d}"
                 serial += 1
                 size = int(rng.integers(cfg.min_size, cfg.max_size + 1))
-                fs.create(path)
-                fs.write(path, 0, size)
+                yield (0.0, MetaOp("create", (path,)))
+                yield (0.0, MetaOp("write", (path, 0, size)))
                 pool.append(path)
                 creates += 1
             else:
                 victim = pool.pop(int(rng.integers(0, len(pool))))
-                fs.unlink(victim)
+                yield (0.0, MetaOp("unlink", (victim,)))
                 deletes += 1
             # read-or-append half
             if pool:
                 target = pool[int(rng.integers(0, len(pool)))]
-                f = fs.file_handle(target)
+                f = yield (0.0, MetaOp("file_handle", (target,)))
                 size = max(1, f.size_bytes)
                 if rng.random() < 0.5:
-                    fs.open(target)
-                    fs.read(target, 0, size)
+                    yield (0.0, MetaOp("open", (target,)))
+                    yield (0.0, MetaOp("read", (target, 0, size)))
                     reads += 1
                 else:
                     grow = int(rng.integers(cfg.min_size, cfg.max_size + 1))
-                    fs.write(target, f.size_bytes, grow)
+                    yield (0.0, MetaOp("write", (target, f.size_bytes, grow)))
                     appends += 1
 
         # Teardown: delete the remaining pool (PostMark's final phase).
         for c, pool in enumerate(pools):
             for path in pool:
-                fs.unlink(path)
+                yield (0.0, MetaOp("unlink", (path,)))
                 deletes += 1
+        return (creates, deletes, reads, appends)
 
+    def run(self, fs: RedbudFileSystem) -> PostMarkResult:
+        mds_start = fs.mds.elapsed_s
+        data_start = fs.data.array.total_busy_s
+        creates, deletes, reads, appends = drive(self.program(), mds_executor(fs))
         mds_s = fs.mds.elapsed_s - mds_start
         data_s = fs.data.array.total_busy_s - data_start
         return PostMarkResult(

@@ -1,0 +1,250 @@
+"""Open-loop service workload: N client streams, Poisson arrivals.
+
+Where the closed-loop benchmarks ask "how fast can the system go?", this
+workload asks "what latency does the system deliver at a *given* offered
+load?" — the service-provider question.  ``streams`` clients each issue
+operations at ``rate`` ops/s on their own schedule, whether or not earlier
+operations have completed; the merge of all those schedules drives the
+:class:`~repro.sim.events.EventLoop`.
+
+Scaling to a million streams without a million generators rests on two
+standard reductions:
+
+- **Superposition.**  The merge of N independent Poisson(rate) processes
+  is one Poisson(N×rate) process whose arrivals are attributed to a
+  uniformly random stream.  One generator per operation kind therefore
+  represents *all* streams in O(1) memory; per-stream identity survives in
+  the attribution draw and in a numpy op-count array (8 bytes/stream —
+  the only per-stream state in the whole pipeline).
+- **Region folding.**  Stream ``s`` writes into region ``s % REGIONS`` of
+  one shared file, and the region index doubles as the allocator-visible
+  :data:`~repro.fs.stream.StreamId`.  Allocator window state, file extent
+  state and file size are thereby bounded by ``REGIONS`` regardless of
+  the stream count, while cursors wrap within each region so steady state
+  is overwrite-heavy (no unbounded allocation over long runs).
+
+Events carry the ordinary protocol ops (:class:`~repro.workloads.base.
+WriteOp` / ``ReadOp`` / ``MetaOp``); the workload also provides the two
+station executors that price an op via the device models — disk-array
+batch wall time for data, MDS timeline delta for metadata.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.fs.dataplane import DataPlane
+from repro.meta.mds import MetadataServer
+from repro.rng import derive_rng
+from repro.units import KiB
+from repro.workloads.base import Event, MetaOp, Op, ReadOp, WriteOp
+
+__all__ = [
+    "DURATIONS",
+    "RATES",
+    "ServiceSpec",
+    "ServiceWorkload",
+    "resolve_duration",
+    "resolve_rate",
+]
+
+#: Named per-stream arrival rates (ops/s per stream), CLI-friendly.
+RATES: dict[str, float] = {"small": 0.5, "medium": 5.0, "large": 50.0}
+
+#: Named run durations (simulated seconds of arrivals).
+DURATIONS: dict[str, float] = {"short": 2.0, "long": 30.0}
+
+#: Streams fold onto this many file regions / allocator stream ids.
+REGIONS = 4096
+
+#: Requests per region before the write cursor wraps to overwrites.
+REGION_SLOTS = 16
+
+#: Directory pool ceiling for the metadata mix.
+MAX_DIRS = 256
+
+#: Files pre-created per pool directory.
+FILES_PER_DIR = 4
+
+
+def resolve_rate(rate: str | float) -> float:
+    """A named rate ("small"/"medium"/"large") or explicit ops/s → float."""
+    if isinstance(rate, str):
+        try:
+            return RATES[rate]
+        except KeyError:
+            raise ConfigError(
+                f"unknown rate {rate!r}; choose from {sorted(RATES)} or a number"
+            ) from None
+    if rate <= 0:
+        raise ConfigError(f"rate must be positive: {rate}")
+    return float(rate)
+
+
+def resolve_duration(duration: str | float) -> float:
+    """A named duration ("short"/"long") or explicit seconds → float."""
+    if isinstance(duration, str):
+        try:
+            return DURATIONS[duration]
+        except KeyError:
+            raise ConfigError(
+                f"unknown duration {duration!r}; choose from {sorted(DURATIONS)}"
+                " or a number"
+            ) from None
+    if duration <= 0:
+        raise ConfigError(f"duration must be positive: {duration}")
+    return float(duration)
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """One open-loop operating point (picklable; sweep cells carry it)."""
+
+    streams: int = 1000
+    rate: float = 0.5  # ops/s per stream
+    duration_s: float = 2.0
+    queue_depth: int = 64
+    read_fraction: float = 0.35
+    meta_fraction: float = 0.20
+    request_bytes: int = 64 * KiB
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.streams < 1:
+            raise ConfigError(f"streams must be >= 1: {self.streams}")
+        if self.rate <= 0 or self.duration_s <= 0:
+            raise ConfigError(
+                f"rate and duration must be positive: {self.rate}, {self.duration_s}"
+            )
+        if self.queue_depth < 1:
+            raise ConfigError(f"queue_depth must be >= 1: {self.queue_depth}")
+        if self.request_bytes < 1:
+            raise ConfigError(f"request_bytes must be >= 1: {self.request_bytes}")
+        if not (0.0 <= self.read_fraction and 0.0 <= self.meta_fraction):
+            raise ConfigError("mix fractions must be non-negative")
+        if self.read_fraction + self.meta_fraction > 1.0:
+            raise ConfigError(
+                "read_fraction + meta_fraction must leave room for writes: "
+                f"{self.read_fraction} + {self.meta_fraction} > 1"
+            )
+
+    @property
+    def write_fraction(self) -> float:
+        return 1.0 - self.read_fraction - self.meta_fraction
+
+    def kind_rate(self, kind: str) -> float:
+        """Aggregate arrival rate (ops/s) of one operation kind."""
+        fraction = {
+            "write": self.write_fraction,
+            "read": self.read_fraction,
+            "meta": self.meta_fraction,
+        }[kind]
+        return self.streams * self.rate * fraction
+
+
+class ServiceWorkload:
+    """Lazy event sources plus station executors over one plane + MDS."""
+
+    KINDS = ("write", "read", "meta")
+
+    def __init__(self, spec: ServiceSpec, plane: DataPlane, mds: MetadataServer) -> None:
+        self.spec = spec
+        self.plane = plane
+        self.mds = mds
+        self.regions = min(spec.streams, REGIONS)
+        self.region_bytes = REGION_SLOTS * spec.request_bytes
+        #: Write cursor per region (slot index, wraps at REGION_SLOTS).
+        self._cursors = np.zeros(self.regions, dtype=np.int64)
+        #: Operations attributed to each *real* stream — the only O(streams)
+        #: state; 8 bytes per stream.
+        self.ops_per_stream = np.zeros(spec.streams, dtype=np.int64)
+        self.file = None
+        self._pool: list[tuple[object, str]] = []  # (dir handle, file name)
+
+    # -- setup (untimed; runs before the arrival window opens) -------------
+    def setup(self) -> None:
+        """Create the shared file and the bounded metadata pool."""
+        self.file = self.plane.create_file("service.dat")
+        ndirs = max(1, min(self.spec.streams, MAX_DIRS))
+        root = self.mds.root
+        for d in range(ndirs):
+            dirh = self.mds.mkdir(root, f"svc{d:03d}")
+            for j in range(FILES_PER_DIR):
+                name = f"f{j}"
+                self.mds.create(dirh, name)
+                self._pool.append((dirh, name))
+
+    # -- lazy event sources -------------------------------------------------
+    def events(self, kind: str) -> Iterator[Event]:
+        """Infinite superposed-Poisson event stream for one op kind.
+
+        Yields ``(arrival_dt, op)`` with exponential inter-arrivals at the
+        kind's aggregate rate; each arrival is attributed to a uniform
+        stream.  O(1) memory — nothing per event is retained beyond the
+        region cursors and the per-stream op counter.
+        """
+        lam = self.spec.kind_rate(kind)
+        if lam <= 0.0:
+            return
+        rng = derive_rng(self.spec.seed, "service", kind)
+        scale = 1.0 / lam
+        build = {"write": self._write_op, "read": self._read_op, "meta": self._meta_op}[kind]
+        streams = self.spec.streams
+        counts = self.ops_per_stream
+        while True:
+            dt = float(rng.exponential(scale))
+            s = int(rng.integers(streams))
+            counts[s] += 1
+            yield dt, build(s, rng)
+
+    def _write_op(self, s: int, rng) -> Op:
+        region = s % self.regions
+        slot = int(self._cursors[region])
+        self._cursors[region] = (slot + 1) % REGION_SLOTS
+        offset = region * self.region_bytes + slot * self.spec.request_bytes
+        return WriteOp(self.file, offset, self.spec.request_bytes)
+
+    def _read_op(self, s: int, rng) -> Op:
+        region = s % self.regions
+        slot = int(rng.integers(REGION_SLOTS))
+        offset = region * self.region_bytes + slot * self.spec.request_bytes
+        return ReadOp(self.file, offset, self.spec.request_bytes)
+
+    def _meta_op(self, s: int, rng) -> MetaOp:
+        dirh, name = self._pool[s % len(self._pool)]
+        method = "stat" if rng.random() < 0.5 else "utime"
+        return MetaOp(method, (dirh, name))
+
+    # -- station executors (op → service time, simulated seconds) ----------
+    def data_service(self, op: Op) -> float:
+        """Price one data op: map it, submit the batch, return wall time.
+
+        The region index recovered from the offset is the allocator-visible
+        stream id — the same folding the generator applied.  Reads of
+        not-yet-written slots map to holes and cost nothing, exactly like
+        reading sparse ranges anywhere else in the simulator.
+        """
+        region = op.offset // self.region_bytes
+        if isinstance(op, WriteOp):
+            requests = self.plane.write(op.file, region, op.offset, op.nbytes)
+        else:
+            requests = self.plane.read(op.file, op.offset, op.nbytes)
+        return self.plane.array.submit_batch(requests)
+
+    def meta_service(self, op: MetaOp) -> float:
+        """Price one metadata op via the MDS timeline delta."""
+        t0 = self.mds.elapsed_s
+        getattr(self.mds, op.method)(*op.args)
+        return self.mds.elapsed_s - t0
+
+    def bytes_for(self, op: Op | MetaOp) -> int:
+        return op.nbytes if isinstance(op, (WriteOp, ReadOp)) else 0
+
+    @property
+    def active_streams(self) -> int:
+        """How many distinct streams have issued at least one op."""
+        return int(np.count_nonzero(self.ops_per_stream))

@@ -61,8 +61,13 @@ class SharedFileMicrobench:
         can fallocate — other policies ignore the declaration)."""
         return plane.create_file(name, expected_bytes=self.file_bytes)
 
-    def phase1_write(self, plane: DataPlane, f: RedbudFile) -> ThroughputResult:
-        """Concurrent placement phase driven by the synthetic LLNL trace."""
+    def write_programs(self, f: RedbudFile) -> list[StreamProgram]:
+        """Lazy per-stream write programs driven by the synthetic trace.
+
+        The trace itself is derived once (it defines the arrival-order
+        interleaving); each program lazily re-yields its stream's records
+        as ``(arrival_dt, WriteOp)`` events.
+        """
         records = synth_checkpoint_trace(
             self.nstreams,
             self.region_bytes,
@@ -70,37 +75,53 @@ class SharedFileMicrobench:
             jitter=self.jitter,
             seed=self.seed,
         )
-        programs = [
-            StreamProgram(
-                stream=make_stream_id(proc // 4, proc % 4),
-                ops=[WriteOp(f, rec.offset, rec.nbytes) for rec in recs],
-            )
+
+        def make_events(recs):
+            def events():
+                for rec in recs:
+                    yield (0.0, WriteOp(f, rec.offset, rec.nbytes))
+
+            return events
+
+        return [
+            StreamProgram(stream=make_stream_id(proc // 4, proc % 4), ops=make_events(recs))
             for proc, recs in sorted(trace_streams(records).items())
         ]
-        return run_data_phase(plane, programs)
 
-    def phase2_read(self, plane: DataPlane, f: RedbudFile) -> ThroughputResult:
-        """Segmented sequential read-back (the measured phase)."""
+    def phase1_write(self, plane: DataPlane, f: RedbudFile) -> ThroughputResult:
+        """Concurrent placement phase driven by the synthetic LLNL trace."""
+        return run_data_phase(plane, self.write_programs(f))
+
+    def read_programs(self, f: RedbudFile) -> list[StreamProgram]:
+        """Lazy per-reader programs: segments dealt round-robin, each read
+        sequentially in ``read_request_bytes`` chunks."""
         readers = self.readers if self.readers is not None else self.nstreams
         if readers <= 0:
             raise ConfigError("readers must be positive")
         seg_bytes = self.file_bytes // self.segments
         if seg_bytes == 0:
             raise ConfigError("more segments than bytes")
-        per_reader_ops: list[list[ReadOp]] = [[] for _ in range(readers)]
-        for seg in range(self.segments):
-            reader = seg % readers
-            base = seg * seg_bytes
-            cursor = 0
-            while cursor < seg_bytes:
-                chunk = min(self.read_request_bytes, seg_bytes - cursor)
-                per_reader_ops[reader].append(ReadOp(f, base + cursor, chunk))
-                cursor += chunk
-        programs = [
-            StreamProgram(stream=make_stream_id(1000 + i // 4, i % 4), ops=ops)
-            for i, ops in enumerate(per_reader_ops)
+
+        def make_events(reader):
+            def events():
+                for seg in range(reader, self.segments, readers):
+                    base = seg * seg_bytes
+                    cursor = 0
+                    while cursor < seg_bytes:
+                        chunk = min(self.read_request_bytes, seg_bytes - cursor)
+                        yield (0.0, ReadOp(f, base + cursor, chunk))
+                        cursor += chunk
+
+            return events
+
+        return [
+            StreamProgram(stream=make_stream_id(1000 + i // 4, i % 4), ops=make_events(i))
+            for i in range(readers)
         ]
-        return run_data_phase(plane, programs)
+
+    def phase2_read(self, plane: DataPlane, f: RedbudFile) -> ThroughputResult:
+        """Segmented sequential read-back (the measured phase)."""
+        return run_data_phase(plane, self.read_programs(f))
 
     def run(self, plane: DataPlane, name: str = "/shared.chk") -> tuple[ThroughputResult, ThroughputResult]:
         """Both phases; returns (phase-1 write, phase-2 read) results."""

@@ -9,7 +9,7 @@ from repro.core.api import (
     compare_policies,
     fragmentation_report,
 )
-from repro.core.experiments import (
+from repro.core.runners import (
     Fig6aResult,
     Fig7Result,
     MacroRun,

@@ -1,4 +1,4 @@
-"""Unified runner API: RunResult shape, deprecation shims, trace CLI."""
+"""Unified runner API: RunResult shape, unified invocation, trace CLI."""
 
 from __future__ import annotations
 
@@ -7,7 +7,6 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.core import experiments
 from repro.core.run import RunResult, fingerprint, run, runner_names
 from repro.errors import ConfigError
 from repro.obs import Tracer
@@ -88,43 +87,40 @@ class TestRunResultShape:
         assert "disk" in layers and "run" in layers
 
 
-class TestDeprecationShims:
-    """Old call shapes keep working and return the identical payload."""
+class TestUnifiedInvocation:
+    """``run(name, scale=..., jobs=..., seed=...)`` works for every runner
+    and execution strategy never changes the result."""
 
-    def test_micro_stream_count_equivalent(self):
-        with pytest.warns(DeprecationWarning, match="fig6a"):
-            old = experiments.micro_stream_count(
-                stream_counts=(4,), policies=("ondemand",), scale=SCALE, ndisks=2
-            )
-        new = run("fig6a", scale=SCALE, stream_counts=(4,),
-                  policies=("ondemand",), ndisks=2)
-        assert old == new.payload
+    def test_jobs_kwarg_accepted_everywhere(self):
+        # Every registered runner must accept the unified surface, even
+        # single-cell ones like "faults".
+        import inspect
 
-    def test_micro_stream_count_positional(self):
-        with pytest.warns(DeprecationWarning):
-            old = experiments.micro_stream_count((4,), ("ondemand",), SCALE, 2, 0)
-        assert old.stream_counts == [4]
-        assert old.throughput["ondemand"][4] > 0
+        from repro.core.run import RUNNERS, _load
 
-    def test_metarates_suite_equivalent(self):
-        with pytest.warns(DeprecationWarning, match="fig8"):
-            old = experiments.metarates_suite(scale=0.02, dir_sizes=(200,))
-        new = run("fig8", scale=0.02, dir_sizes=(200,))
-        assert old == new.payload
+        _load()
+        for name, fn in RUNNERS.items():
+            params = inspect.signature(fn).parameters
+            for expected in ("scale", "seed", "trace", "jobs"):
+                assert expected in params, (name, expected)
 
-    def test_aging_impact_equivalent(self):
-        with pytest.warns(DeprecationWarning, match="fig9"):
-            old = experiments.aging_impact(utilizations=(0.0,), scale=0.1)
-        new = run("fig9", scale=0.1, utilizations=(0.0,))
-        assert old == new.payload
+    def test_jobs_does_not_change_result_or_fingerprint(self):
+        serial = run("fig6a", scale=SCALE, stream_counts=(4,),
+                     policies=("ondemand",), ndisks=2)
+        fanned = run("fig6a", scale=SCALE, jobs=2, stream_counts=(4,),
+                     policies=("ondemand",), ndisks=2)
+        assert serial.fingerprint == fanned.fingerprint
+        assert serial.payload == fanned.payload
+        assert serial.phases == fanned.phases
 
-    def test_table1_shim_returns_legacy_type(self):
-        with pytest.warns(DeprecationWarning, match="table1"):
-            old = experiments.table1_segments(
-                policies=("reservation", "ondemand"), scale=0.05, ndisks=2
-            )
-        assert isinstance(old, experiments.Table1Result)
-        assert old.get("IOR", "ondemand").extents > 0
+    def test_legacy_io_alias_warns_and_matches(self):
+        new = run("fig7", scale=SCALE, ndisks=2, policies=("ondemand",),
+                  collectives=(False,), execution="legacy")
+        with pytest.warns(DeprecationWarning, match="legacy_io"):
+            old = run("fig7", scale=SCALE, ndisks=2, policies=("ondemand",),
+                      collectives=(False,), legacy_io=True)
+        assert old.fingerprint == new.fingerprint
+        assert old.payload == new.payload
 
 
 class TestTraceCLI:

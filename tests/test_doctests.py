@@ -8,6 +8,7 @@ import repro.core.api
 import repro.fs.client
 import repro.meta.inumber
 import repro.rng
+import repro.sim.events
 import repro.sim.report
 import repro.sim.stats
 import repro.sim.visual
@@ -18,6 +19,7 @@ import repro.workloads.replay
 MODULES = [
     repro.units,
     repro.rng,
+    repro.sim.events,
     repro.sim.report,
     repro.sim.stats,
     repro.sim.visual,

@@ -7,17 +7,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.experiments import (
-    aging_impact,
-    interference_claim,
-    macro_benchmarks,
-    metarates_suite,
-    micro_request_size,
-    micro_stream_count,
-    postmark_apps,
-    prealloc_waste,
-    table1_segments,
-)
+from repro.core.run import run
+from repro.core.runners import interference_claim, prealloc_waste
 
 pytestmark = pytest.mark.slow
 
@@ -28,7 +19,7 @@ class TestFig6Shapes:
         # Paper stream counts: below ~32 streams the interleave stride
         # falls inside the drive's skip-merge range and reservation is
         # unpenalized (the same reason the paper's gains grow with scale).
-        return micro_stream_count(stream_counts=(32, 64), scale=1.0)
+        return run("fig6a", stream_counts=(32, 64), scale=1.0).payload
 
     def test_ondemand_beats_reservation(self, fig6a):
         for n in fig6a.stream_counts:
@@ -48,9 +39,9 @@ class TestFig6Shapes:
             assert fig6a.extents["reservation"][n] > 4 * fig6a.extents["ondemand"][n]
 
     def test_request_size_sweep(self):
-        res = micro_request_size(
-            request_sizes=(16 * 1024, 256 * 1024), nstreams=32, scale=1.0
-        )
+        res = run(
+            "fig6b", request_sizes=(16 * 1024, 256 * 1024), nstreams=32, scale=1.0
+        ).payload
         small, large = res.request_sizes
         # Small phase-1 requests hurt reservation placement the most.
         assert res.throughput["reservation"][small] < res.throughput["reservation"][large]
@@ -61,7 +52,7 @@ class TestFig6Shapes:
 class TestFig7AndTable1:
     @pytest.fixture(scope="class")
     def fig7(self):
-        return macro_benchmarks(scale=0.5)
+        return run("fig7", scale=0.5).payload
 
     def test_ondemand_wins_non_collective(self, fig7):
         for app in ("IOR", "BTIO"):
@@ -91,7 +82,7 @@ class TestFig7AndTable1:
             assert gap_co < gap_nc
 
     def test_table1_extent_ordering(self):
-        t1 = table1_segments(scale=0.5)
+        t1 = run("table1", scale=0.5).payload
         for app in ("IOR", "BTIO"):
             vanilla = t1.get(app, "vanilla").extents
             reservation = t1.get(app, "reservation").extents
@@ -101,7 +92,7 @@ class TestFig7AndTable1:
             assert reservation >= 3 * ondemand
 
     def test_table1_cpu_follows_extents(self):
-        t1 = table1_segments(scale=0.5)
+        t1 = run("table1", scale=0.5).payload
         for app in ("IOR", "BTIO"):
             assert (
                 t1.get(app, "ondemand").mds_cpu_pct
@@ -112,7 +103,7 @@ class TestFig7AndTable1:
 class TestFig8Shapes:
     @pytest.fixture(scope="class")
     def fig8(self):
-        return metarates_suite(scale=0.06, dir_sizes=(500, 5000))
+        return run("fig8", scale=0.06, dir_sizes=(500, 5000)).payload
 
     def test_embedded_faster_everywhere(self, fig8):
         for wl in ("create", "utime", "delete", "readdir-stat"):
@@ -141,7 +132,7 @@ class TestFig8Shapes:
 class TestFig9Shapes:
     @pytest.fixture(scope="class")
     def fig9(self):
-        return aging_impact(utilizations=(0.0, 0.8), scale=0.25)
+        return run("fig9", utilizations=(0.0, 0.8), scale=0.25).payload
 
     def test_aging_hurts_embedded_creation(self, fig9):
         fresh = fig9.get("redbud-mif", 0.0).create_ops_s
@@ -173,7 +164,7 @@ class TestFig9Shapes:
 class TestFig10Shapes:
     @pytest.fixture(scope="class")
     def fig10(self):
-        return postmark_apps(scale=0.3)
+        return run("fig10", scale=0.3).payload
 
     def test_embedded_faster_on_file_intensive_apps(self, fig10):
         for app in ("postmark", "tar", "make-clean"):

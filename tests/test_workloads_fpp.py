@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.experiments import file_per_process_gap
+from repro.core.runners import file_per_process_gap
 from repro.errors import ConfigError
 from repro.fs.dataplane import DataPlane
 from repro.units import KiB, MiB
