@@ -37,6 +37,8 @@ from repro.fs.profiles import (
     redbud_vanilla_profile,
     with_alloc_policy,
 )
+from repro.obs.export import timeseries_to_csv
+from repro.obs.report import render_dashboard
 from repro.sim.report import Table, format_pct
 from repro.sim.visual import extent_histogram, layout_map, utilization_bars
 from repro.units import KiB, MiB
@@ -807,19 +809,39 @@ def print_faults(run_result, args) -> int:
     return 0 if result.clean_after else 1
 
 
+def _cell_artifact_path(path: str, report, cell) -> str:
+    """Artifact path for one cell: rate-suffixed when the run swept rates."""
+    if len(report.cells) <= 1:
+        return path
+    root, dot, ext = path.rpartition(".")
+    if not dot:
+        return f"{path}.r{cell.rate:g}"
+    return f"{root}.r{cell.rate:g}.{ext}"
+
+
+def _format_drops(st) -> str:
+    """Per-kind drop breakdown, e.g. ``w=2 r=1`` (``-`` when drop-free)."""
+    if not st.dropped:
+        return "-"
+    return " ".join(
+        f"{kind[0]}={n}" for kind, n in sorted(st.drops_by_kind.items()) if n
+    )
+
+
 def print_service(run_result, args) -> int:
     report = run_result.payload
     table = Table(
         "Open-loop service mode — sojourn latency under offered load",
-        ["rate", "station", "started", "dropped", "p50 (s)", "p99 (s)",
-         "p999 (s)", "saturation", "goodput/s"],
+        ["rate", "station", "depth", "started", "dropped", "drops by kind",
+         "p50 (s)", "p99 (s)", "p999 (s)", "saturation", "goodput/s"],
     )
     for cell in report.cells:
         for name in sorted(cell.stations):
             st = cell.stations[name]
             table.add_row(
                 [
-                    f"{cell.rate:g}", name, st.started, st.dropped,
+                    f"{cell.rate:g}", name, st.depth, st.started, st.dropped,
+                    _format_drops(st),
                     f"{st.p50_s:.2e}", f"{st.p99_s:.2e}", f"{st.p999_s:.2e}",
                     f"{st.saturation:.2f}", f"{st.goodput_ops_s:.0f}",
                 ]
@@ -831,16 +853,61 @@ def print_service(run_result, args) -> int:
             f"{cell.streams} streams ({cell.active_streams} active), "
             f"queue depth {cell.queue_depth}, {cell.duration_s:g} s window"
         )
+
+    telemetry_out = getattr(args, "telemetry_out", None)
+    dashboard_out = getattr(args, "dashboard_out", None)
+    for cell in report.cells:
+        if cell.telemetry is None:
+            continue
+        dashboard = render_dashboard(
+            cell.telemetry, title=f"telemetry (rate {cell.rate:g})"
+        )
+        print()
+        print(dashboard)
+        if telemetry_out:
+            path = _cell_artifact_path(telemetry_out, report, cell)
+            timeseries_to_csv(cell.telemetry, path)
+            print(f"wrote telemetry CSV to {path}")
+        if dashboard_out:
+            path = _cell_artifact_path(dashboard_out, report, cell)
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(dashboard + "\n")
+            print(f"wrote dashboard to {path}")
+
+    if any(cell.slo is not None for cell in report.cells):
+        slo_table = Table(
+            "SLO verdicts — error-budget burn rate per objective",
+            ["rate", "objective", "windows", "bad", "worst", "compliance",
+             "burn rate", "verdict"],
+        )
+        for cell in report.cells:
+            if cell.slo is None:
+                continue
+            for res in cell.slo.results:
+                slo_table.add_row(
+                    [
+                        f"{cell.rate:g}", res.objective.name, res.windows,
+                        res.bad_windows, f"{res.worst:.2e}",
+                        f"{res.compliance:.1%}", f"{res.burn_rate:.2f}",
+                        res.verdict,
+                    ]
+                )
+        print()
+        slo_table.print()
+        print(f"overall SLO verdict: {report.slo_verdict}")
+
     if args.out:
         doc = {
             "fingerprint": run_result.fingerprint,
             "cells": [dataclasses.asdict(cell) for cell in report.cells],
         }
+        if report.slo_verdict is not None:
+            doc["slo_verdict"] = report.slo_verdict
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, sort_keys=True, indent=2)
             fh.write("\n")
         print(f"wrote latency report to {args.out}")
-    return 0
+    return 1 if report.slo_verdict == "fail" else 0
 
 
 #: Every runner-backed subcommand, declaratively.  ``build_parser`` wires
@@ -893,6 +960,27 @@ RUNNER_COMMANDS: tuple[RunnerCommand, ...] = (
             CliOption(("--rates",), "rates", dict(
                 type=_rate_list, default=None, metavar="R1,R2,...",
                 help="sweep several rates as independent cells")),
+            CliOption(("--telemetry",), "telemetry", dict(
+                nargs="?", const=True, default=False, type=float,
+                metavar="WINDOW_S",
+                help="collect per-window time-series telemetry; optional "
+                "window width in simulated seconds (default: duration/50)")),
+            CliOption(("--slo",), "slo", dict(
+                nargs="?", const="default", default=None, metavar="SPECS",
+                help="evaluate SLO objectives (implies --telemetry): "
+                "comma-separated SERIES:pP<=THRESHOLD[:wS][:bF] specs, "
+                "or no value for the defaults; a fail verdict exits 1")),
+            CliOption(("--sample",), "sample", dict(
+                default=None, metavar="1/N",
+                help="trace every Nth stream end-to-end (sampled tracing "
+                "keeps the vectorized fast path engaged)")),
+            CliOption(("--telemetry-out",), None, dict(
+                default=None, metavar="PATH", dest="telemetry_out",
+                help="write the per-window telemetry as CSV to PATH "
+                "(rate-suffixed when sweeping --rates)")),
+            CliOption(("--dashboard-out",), None, dict(
+                default=None, metavar="PATH", dest="dashboard_out",
+                help="write the ASCII sparkline dashboard to PATH")),
             CliOption(("--out",), None, dict(
                 default=None, metavar="PATH",
                 help="also write the latency report as JSON to PATH")),

@@ -88,11 +88,15 @@ def run_cells(
     ``fn`` must be a module-level callable of signature
     ``fn(spec, tracer=None)`` and every spec must be picklable.  Results
     come back in submission order regardless of completion order.  With an
-    enabled tracer the map runs serially in-process (passing the tracer
-    through), since trace ring buffers cannot be shared with workers.
+    enabled tracer — or a sampling tracer, which is dormant between
+    sampled ops but still collects — the map runs serially in-process
+    (passing the tracer through), since trace ring buffers cannot be
+    shared with workers.
     """
     n = resolve_jobs(jobs)
-    traced = tracer is not None and getattr(tracer, "enabled", False)
+    traced = tracer is not None and (
+        getattr(tracer, "enabled", False) or getattr(tracer, "sampling", False)
+    )
     if n <= 1 or len(cells) <= 1 or traced:
         return [fn(cell, tracer) for cell in cells]
     with ProcessPoolExecutor(max_workers=min(n, len(cells))) as pool:

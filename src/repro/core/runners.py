@@ -21,7 +21,7 @@ from repro.config import FSConfig
 from repro.core.parallel import CellResult, run_cells
 from repro.core.run import RunResult, fingerprint, register
 from repro.disk.model import BlockRequest
-from repro.errors import CrashError, LatentSectorError
+from repro.errors import ConfigError, CrashError, LatentSectorError
 from repro.fault import Corruptor, FaultInjector, FaultPlan
 from repro.fs.dataplane import DataPlane
 from repro.fs.profiles import (
@@ -35,7 +35,9 @@ from repro.fs.stream import make_stream_id
 from repro.fs.verify import RepairResult, repair_dataplane, repair_mds
 from repro.meta.mds import MetadataServer
 from repro.obs.layout import LayoutInspector, LayoutReport
-from repro.obs.trace import NullTracer, Tracer, coerce_tracer
+from repro.obs.slo import SLObjective, SLOReport, evaluate as evaluate_slo, resolve_objectives
+from repro.obs.timeseries import TimeSeriesSnapshot
+from repro.obs.trace import NullTracer, SamplingTracer, Tracer, coerce_tracer, parse_sample
 from repro.rng import derive_rng
 from repro.sim.clock import SimClock
 from repro.sim.events import EventLoop, Station
@@ -50,6 +52,7 @@ from repro.workloads.metarates import MetaratesWorkload
 from repro.workloads.postmark import PostMarkConfig, PostMarkResult, PostMarkWorkload
 from repro.workloads.service import (
     ServiceSpec,
+    ServiceTelemetry,
     ServiceWorkload,
     resolve_duration,
     resolve_rate,
@@ -1082,6 +1085,11 @@ class StationReport:
     mean_latency_s: float
     mean_queue_depth: float
     p99_queue_depth: float
+    #: The bounded queue depth the station ran with — the context that
+    #: makes saturation and drops interpretable.
+    depth: int = 0
+    #: Drops broken down by op kind routed to this station.
+    drops_by_kind: dict[str, int] = field(default_factory=dict)
 
     @property
     def drop_fraction(self) -> float:
@@ -1099,6 +1107,14 @@ class ServiceCell:
     arrivals: int
     active_streams: int
     stations: dict[str, StationReport] = field(default_factory=dict)
+    #: Which disk-array submit path serviced the cell's batches — the
+    #: introspection that proves sampled tracing left the vectorized fast
+    #: path engaged (see :attr:`repro.disk.array.DiskArray.io_profile`).
+    io_profile: dict[str, int] = field(default_factory=dict)
+    #: Per-window telemetry frames (``--telemetry``); None when disabled.
+    telemetry: TimeSeriesSnapshot | None = None
+    #: SLO evaluation over :attr:`telemetry` (``--slo``); None when disabled.
+    slo: SLOReport | None = None
 
     def station(self, name: str) -> StationReport:
         try:
@@ -1121,8 +1137,19 @@ class ServiceReport:
                 return cell
         raise KeyError(f"no cell at rate {rate}; known: {[c.rate for c in self.cells]}")
 
+    @property
+    def slo_verdict(self) -> str | None:
+        """Overall verdict: "pass" only if every evaluated cell passed.
 
-def _station_report(st, duration_s: float) -> StationReport:
+        None when no cell carried an SLO report (``--slo`` not given).
+        """
+        reports = [c.slo for c in self.cells if c.slo is not None]
+        if not reports:
+            return None
+        return "pass" if all(r.passed for r in reports) else "fail"
+
+
+def _station_report(st, duration_s: float, drops_by_kind: dict[str, int]) -> StationReport:
     lat = st.latency.snapshot()
     q = st.queue_depth.snapshot()
     return StationReport(
@@ -1140,12 +1167,14 @@ def _station_report(st, duration_s: float) -> StationReport:
         mean_latency_s=lat.mean,
         mean_queue_depth=q.mean,
         p99_queue_depth=q.percentile(99.0),
+        depth=st.depth,
+        drops_by_kind=dict(drops_by_kind),
     )
 
 
 def _service_cell(spec, tracer=None) -> CellResult:
     """One open-loop operating point: build, arrive, drain, report."""
-    svc, cfg, execution = spec
+    svc, cfg, execution, telemetry_window, objectives = spec
     if execution:
         cfg = replace(cfg, execution=execution)
     cell = _Cell(tracer)
@@ -1159,17 +1188,50 @@ def _service_cell(spec, tracer=None) -> CellResult:
         "data": Station("data", wl.data_service, svc.queue_depth),
         "meta": Station("meta", wl.meta_service, svc.queue_depth),
     }
+    telem = None
+    if telemetry_window is not None:
+        telem = ServiceTelemetry(telemetry_window)
+        loop.probe = telem.loop_probe
+        for st in stations.values():
+            st.probe = telem.station_probe(st.name)
+    sampler = tracer if isinstance(tracer, SamplingTracer) else None
     moved = {"bytes": 0}
+    drops = {"data": {"write": 0, "read": 0}, "meta": {"meta": 0}}
 
-    def arrive(station, op_bytes):
+    def arrive(station, kind, op_bytes, kind_drops):
+        pending = wl.pending_stream
+
         def on_event(now, op):
-            if station.offer(now, op) is not None:
+            if sampler is not None and sampler.sampled(pending[kind]):
+                stream = pending[kind]
+                with sampler.op(stream):
+                    sampler.emit(
+                        "service", f"{kind}.arrive", t=now, station=station.name,
+                    )
+                    done = station.offer(now, op)
+                    if done is None:
+                        sampler.emit(
+                            "service", f"{kind}.drop", t=now, station=station.name,
+                        )
+                    else:
+                        sampler.emit(
+                            "service", f"{kind}.sojourn", t=now, dur=done - now,
+                            station=station.name,
+                        )
+            else:
+                done = station.offer(now, op)
+            if done is None:
+                kind_drops[kind] += 1
+            else:
                 moved["bytes"] += op_bytes(op)
         return on_event
 
     for kind in ServiceWorkload.KINDS:
-        station = stations["meta" if kind == "meta" else "data"]
-        loop.add_source(wl.events(kind), arrive(station, wl.bytes_for))
+        name = "meta" if kind == "meta" else "data"
+        loop.add_source(
+            wl.events(kind),
+            arrive(stations[name], kind, wl.bytes_for, drops[name]),
+        )
     loop.run(until=svc.duration_s)
     for st in stations.values():
         st.drain()
@@ -1191,6 +1253,12 @@ def _service_cell(spec, tracer=None) -> CellResult:
             st.queue_depth.snapshot()
         )
         cell.metrics.incr(f"service.{name}.dropped", st.dropped)
+    snapshot = telem.snapshot() if telem is not None else None
+    slo_report = (
+        evaluate_slo(snapshot, objectives)
+        if snapshot is not None and objectives
+        else None
+    )
     payload = ServiceCell(
         rate=svc.rate,
         streams=svc.streams,
@@ -1198,9 +1266,39 @@ def _service_cell(spec, tracer=None) -> CellResult:
         queue_depth=svc.queue_depth,
         arrivals=loop.processed,
         active_streams=wl.active_streams,
-        stations={name: _station_report(st, svc.duration_s) for name, st in stations.items()},
+        stations={
+            name: _station_report(st, svc.duration_s, drops[name])
+            for name, st in stations.items()
+        },
+        io_profile=dict(plane.array.io_profile),
+        telemetry=snapshot,
+        slo=slo_report,
     )
     return cell.result(payload)
+
+
+#: Default telemetry windows per run: ``--telemetry`` without an explicit
+#: window width divides the arrival window into this many frames.
+TELEMETRY_WINDOWS = 50
+
+
+def _resolve_telemetry_window(
+    telemetry: bool | float, slo_active: bool, duration_s: float
+) -> float | None:
+    """The telemetry window width in seconds, or None when disabled.
+
+    ``True`` (or any active SLO, which needs frames to evaluate) divides
+    the run into :data:`TELEMETRY_WINDOWS` windows; a number is an explicit
+    window width in simulated seconds.
+    """
+    if telemetry is False or telemetry is None:
+        return duration_s / TELEMETRY_WINDOWS if slo_active else None
+    if telemetry is True:
+        return duration_s / TELEMETRY_WINDOWS
+    window_s = float(telemetry)
+    if window_s <= 0:
+        raise ConfigError(f"telemetry window must be positive: {telemetry}")
+    return window_s
 
 
 @register("service")
@@ -1221,6 +1319,9 @@ def service_mode(
     jobs: int | None = None,
     execution: str = "batched",
     legacy_io: bool | None = None,
+    telemetry: bool | float = False,
+    slo: bool | str | SLObjective | tuple[str | SLObjective, ...] | None = None,
+    sample: int | str | None = None,
 ) -> RunResult:
     """Open-loop service mode: latency under a fixed offered load.
 
@@ -1232,11 +1333,32 @@ def service_mode(
     queue depths, drops, saturation and goodput per station.  ``rates``
     sweeps several operating points as independent cells (``jobs`` fans
     them out; results are identical at any job count).
+
+    Observability (docs/TELEMETRY.md) — all observe-only, none of it
+    enters the fingerprint or perturbs results:
+
+    - ``telemetry`` — per-window time-series frames on each cell: ``True``
+      for :data:`TELEMETRY_WINDOWS` windows, or an explicit window width
+      in simulated seconds.
+    - ``slo`` — declarative SLO objectives evaluated per cell: ``True``
+      / ``"default"`` for :data:`~repro.obs.slo.DEFAULT_OBJECTIVES`, or
+      spec strings like ``"data.latency_s:p99<=0.05"`` (comma-separated
+      or a tuple).  Implies telemetry.
+    - ``sample`` — sampled per-op tracing: ``"1/N"`` (or N) traces every
+      N-th stream end-to-end via a :class:`~repro.obs.trace.
+      SamplingTracer` without disengaging the vectorized fast paths.
+      Ignored when an explicit ``trace=`` tracer is passed.
     """
     execution = _resolve_execution(execution, legacy_io)
     rate_points = tuple(resolve_rate(r) for r in (rates if rates is not None else (rate,)))
     duration_s = resolve_duration(duration) * scale
     cfg = config if config is not None else redbud_mif_profile()
+    objectives = resolve_objectives(slo)
+    telemetry_window = _resolve_telemetry_window(
+        telemetry, objectives is not None, duration_s
+    )
+    if sample is not None and (trace is None or trace is False):
+        trace = SamplingTracer(every=parse_sample(sample))
     run = _Run(
         "service", trace, scale=scale, seed=seed, streams=streams,
         rates=rate_points, duration_s=duration_s, queue_depth=queue_depth,
@@ -1257,6 +1379,8 @@ def service_mode(
             ),
             cfg,
             execution,
+            telemetry_window,
+            objectives,
         )
         for r in rate_points
     ]

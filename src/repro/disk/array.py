@@ -61,6 +61,16 @@ class DiskArray:
         self._arrays_capable = vectorized and isinstance(
             self.disks[0].scheduler, ElevatorScheduler
         )
+        # Execution-profile introspection: which submit path serviced each
+        # batch.  Kept off the Metrics bag on purpose — the scalar and
+        # vectorized paths must report *identical* metrics (the perf
+        # harness pins that), while these counters exist to tell the
+        # paths apart (e.g. to assert sampled tracing left the fast path
+        # engaged).
+        self.io_profile: dict[str, int] = {
+            "batches_vectorized": 0,
+            "batches_scalar": 0,
+        }
 
     @property
     def ndisks(self) -> int:
@@ -92,7 +102,9 @@ class DiskArray:
             and not self.tracer.enabled
             and all(d.injector is None for d in self.disks)
         ):
+            self.io_profile["batches_vectorized"] += 1
             return self._submit_arrays(requests)
+        self.io_profile["batches_scalar"] += 1
         per_disk: dict[int, list[BlockRequest]] = {}
         for req in requests:
             disk_idx, local = self.locate(req.start)

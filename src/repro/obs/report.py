@@ -1,4 +1,4 @@
-"""Per-layer aggregation of trace events into a time/latency breakdown.
+"""Trace breakdowns and the ASCII telemetry dashboard.
 
 The questions a profiling session asks first: *which layer consumed the
 simulated time* (disk positioning vs transfer vs metadata), and *which
@@ -6,12 +6,19 @@ operations dominate the event stream* (layout misses vs promotions, cache
 hits vs misses).  These helpers answer both from a list of
 :class:`~repro.obs.trace.TraceEvent` records, with no dependency on the
 rest of the simulator.
+
+For time-resolved telemetry (:mod:`repro.obs.timeseries`) the renderer is
+:func:`render_dashboard`: one sparkline row per signal — counters and
+accumulators as raw per-window values, histogram series as per-window
+p99 — so a saturation ramp or a drop burst is visible at a glance in any
+terminal or CI log.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
+from repro.obs.timeseries import TimeSeriesSnapshot
 from repro.obs.trace import TraceEvent
 
 
@@ -75,4 +82,77 @@ def format_breakdown(
     lines.append(f"  {'op':<28} {'events':>9} {'time (s)':>12}")
     for op in sorted(by_op_n, key=lambda k: by_op_n[k], reverse=True)[:top_ops]:
         lines.append(f"  {op:<28} {by_op_n[op]:>9d} {by_op_t[op]:>12.6f}")
+    return "\n".join(lines)
+
+
+# -- telemetry dashboard -----------------------------------------------------
+
+#: Eight-level block characters, lowest to highest.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render values as a fixed-palette sparkline.
+
+    Levels are scaled to the series' own [min, max]; a constant series
+    renders flat at the lowest level.  More than ``width`` values are
+    down-sampled by taking the max of each span (a latency spike should
+    never disappear into the resampling).
+    """
+    values = list(values)
+    if not values:
+        return ""
+    if len(values) > width:
+        folded = []
+        for i in range(width):
+            lo = i * len(values) // width
+            hi = max(lo + 1, (i + 1) * len(values) // width)
+            folded.append(max(values[lo:hi]))
+        values = folded
+    lo = min(values)
+    hi = max(values)
+    span = hi - lo
+    if span <= 0:
+        return SPARK_CHARS[0] * len(values)
+    top = len(SPARK_CHARS) - 1
+    return "".join(
+        SPARK_CHARS[min(top, int((v - lo) / span * (top + 1)))] for v in values
+    )
+
+
+def _dashboard_rows(ts: TimeSeriesSnapshot) -> list[tuple[str, list[float]]]:
+    rows: list[tuple[str, list[float]]] = []
+    for name in ts.counter_names():
+        rows.append((name, [float(v) for v in ts.counter_values(name)]))
+    for name in ts.sum_names():
+        rows.append((name, ts.sum_values(name)))
+    for name in ts.hist_names():
+        rows.append((f"{name} p99", ts.percentile_values(name, 99.0)))
+    return rows
+
+
+def render_dashboard(
+    ts: TimeSeriesSnapshot, title: str = "telemetry", width: int = 60
+) -> str:
+    """ASCII sparkline dashboard: one row per telemetry signal.
+
+    Counters and accumulators plot their raw per-window values; histogram
+    series plot per-window p99.  Each row carries min/mean/max so the
+    sparkline's scale is readable, and rows are sorted by name so output
+    is deterministic.
+    """
+    if not ts.frames:
+        return f"{title}: no telemetry frames recorded"
+    lines = [
+        f"{title} — {len(ts.frames)} windows × {ts.window_s:g} s "
+        f"({ts.duration_s:g} s)"
+    ]
+    rows = _dashboard_rows(ts)
+    label_w = max((len(name) for name, _ in rows), default=0)
+    for name, values in rows:
+        mean = sum(values) / len(values)
+        lines.append(
+            f"  {name:<{label_w}} |{sparkline(values, width)}| "
+            f"min {min(values):.3g}  mean {mean:.3g}  max {max(values):.3g}"
+        )
     return "\n".join(lines)

@@ -98,6 +98,12 @@ class Tracer:
 
     __slots__ = ("enabled", "capacity", "clock", "_events", "_emitted")
 
+    #: True only on :class:`SamplingTracer`: the tracer is *dormant* between
+    #: sampled operations (``enabled`` is False at rest) but still collects
+    #: events, so schedulers that must keep trace buffers in-process (see
+    #: :func:`repro.core.parallel.run_cells`) check this flag too.
+    sampling = False
+
     def __init__(
         self,
         capacity: int = 65536,
@@ -182,6 +188,122 @@ class Tracer:
         )
 
 
+class _ArmedOp:
+    """Context manager arming a :class:`SamplingTracer` for one operation."""
+
+    __slots__ = ("_tracer", "_stream")
+
+    def __init__(self, tracer: "SamplingTracer", stream: int) -> None:
+        self._tracer = tracer
+        self._stream = stream
+
+    def __enter__(self) -> "_ArmedOp":
+        self._tracer.enabled = True
+        self._tracer.active_stream = self._stream
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._tracer.enabled = False
+        self._tracer.active_stream = None
+
+
+class SamplingTracer(Tracer):
+    """Trace 1-in-N deterministically chosen streams end-to-end.
+
+    The all-or-nothing :class:`Tracer` gate has a structural cost: hot
+    paths check ``tracer.enabled`` to pick between the vectorized and the
+    per-request code paths, so a whole-run tracer forces *every* operation
+    off the fast path.  A ``SamplingTracer`` is **dormant at rest** —
+    ``enabled`` is False, so unsampled operations (the overwhelming
+    majority) take the vectorized paths untouched — and is *armed* only
+    for the duration of a sampled operation:
+
+    >>> tracer = SamplingTracer(every=1000)
+    >>> if tracer.sampled(stream):                      # doctest: +SKIP
+    ...     with tracer.op(stream):
+    ...         station.offer(now, op)  # deep layers emit as usual
+
+    Inside the ``with`` block every instrumented layer the operation
+    touches (MDS queue, journal, allocator, disk) sees an enabled tracer
+    and emits through the ordinary per-request paths, which are
+    bit-identical in results to the vectorized ones (the perf-equivalence
+    harness pins that), so sampling observes without perturbing.
+
+    Stream selection is deterministic — ``stream % every == offset`` —
+    so repeated runs with the same seed trace the same streams.  Events
+    emitted while armed inherit the armed stream id when the emitting
+    layer doesn't pass its own.
+    """
+
+    __slots__ = ("every", "offset", "active_stream")
+
+    sampling = True
+
+    def __init__(
+        self,
+        every: int = 1000,
+        offset: int = 0,
+        capacity: int = 65536,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"sampling period must be >= 1: {every}")
+        super().__init__(capacity=capacity, clock=clock, enabled=False)
+        self.every = every
+        self.offset = offset % every
+        #: Stream id of the operation currently being traced, or None.
+        self.active_stream: int | None = None
+
+    def sampled(self, stream: int) -> bool:
+        """Whether ``stream`` is one of the 1-in-N traced streams."""
+        return stream % self.every == self.offset
+
+    def op(self, stream: int) -> _ArmedOp:
+        """Arm the tracer for one sampled operation (context manager)."""
+        return _ArmedOp(self, stream)
+
+    def emit(
+        self,
+        layer: str,
+        op: str,
+        t: float | None = None,
+        dur: float = 0.0,
+        stream: int | None = None,
+        **attrs: Any,
+    ) -> None:
+        if not self.enabled:
+            return
+        if stream is None:
+            stream = self.active_stream
+        super().emit(layer, op, t=t, dur=dur, stream=stream, **attrs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SamplingTracer(every={self.every}, offset={self.offset}, "
+            f"events={len(self._events)}, dropped={self.dropped})"
+        )
+
+
+def parse_sample(sample: "int | str") -> int:
+    """Parse a sampling period: an int N or the CLI form ``"1/N"``."""
+    if isinstance(sample, int):
+        period = sample
+    else:
+        text = sample.strip()
+        if "/" in text:
+            num, _, den = text.partition("/")
+            if num.strip() != "1":
+                raise ValueError(
+                    f"sampling rate must be 1/N, got {sample!r}"
+                )
+            period = int(den)
+        else:
+            period = int(text)
+    if period < 1:
+        raise ValueError(f"sampling period must be >= 1: {sample!r}")
+    return period
+
+
 class NullTracer:
     """Zero-overhead stand-in used when tracing is off.
 
@@ -193,6 +315,7 @@ class NullTracer:
     __slots__ = ()
 
     enabled = False
+    sampling = False
     capacity = 0
     clock = None
     emitted = 0

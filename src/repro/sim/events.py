@@ -78,6 +78,11 @@ class EventLoop:
         self._sources: dict[int, tuple[Iterator[tuple[float, Any]], Callable[[float, Any], None]]] = {}
         self._seq = 0
         self.processed = 0
+        #: Optional telemetry hook ``probe(now, op)``, called for every
+        #: dispatched event before its handler.  Observe-only: must not
+        #: touch the op or the simulation.  None (the default) costs one
+        #: attribute load per event.
+        self.probe: Callable[[float, Any], None] | None = None
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -122,6 +127,7 @@ class EventLoop:
         """
         processed = 0
         heap = self._heap
+        probe = self.probe
         while heap:
             when, _, sid = heap[0]
             if until is not None and when > until:
@@ -129,6 +135,8 @@ class EventLoop:
             heapq.heappop(heap)
             op = self._pending.pop(sid)
             self.clock.advance_to(when)
+            if probe is not None:
+                probe(when, op)
             _, on_event = self._sources[sid]
             on_event(when, op)
             self._schedule_next(sid, when)
@@ -163,7 +171,7 @@ class Station:
     __slots__ = (
         "name", "depth", "_execute", "latency", "queue_depth",
         "offered", "started", "dropped", "completed", "busy_s", "free_at",
-        "_inflight",
+        "_inflight", "probe",
     )
 
     def __init__(self, name: str, execute: Callable[[Any], float], depth: int) -> None:
@@ -183,6 +191,12 @@ class Station:
         self.busy_s = 0.0
         self.free_at = 0.0
         self._inflight: deque[float] = deque()
+        #: Optional telemetry hook ``probe(now, op, queued, done, service)``
+        #: called once per arrival after its fate is decided: ``done`` is
+        #: the completion time (``None`` when the bounded queue dropped it)
+        #: and ``service`` the charged service time (0.0 on drops).
+        #: Observe-only; None (the default) costs one branch per arrival.
+        self.probe: Callable[[float, Any, int, float | None, float], None] | None = None
 
     def offer(self, now: float, op: Any) -> float | None:
         """One arrival at time ``now``; returns its completion time, or
@@ -196,6 +210,8 @@ class Station:
         self.queue_depth.observe(float(q))
         if q >= self.depth:
             self.dropped += 1
+            if self.probe is not None:
+                self.probe(now, op, q, None, 0.0)
             return None
         service = self._execute(op)
         if service < 0.0:
@@ -207,6 +223,8 @@ class Station:
         inflight.append(done)
         self.latency.observe(done - now)
         self.started += 1
+        if self.probe is not None:
+            self.probe(now, op, q, done, service)
         return done
 
     def drain(self) -> float:

@@ -211,3 +211,21 @@ class TestCommittedBaselines:
         root = pathlib.Path(__file__).resolve().parent.parent
         committed = (root / bb.baseline_filename("fig6a")).read_text()
         assert committed == bb.dumps(bb.collect("fig6a"))
+
+    def test_committed_fig6b_unchanged_by_sampled_tracing(self):
+        """A SamplingTracer is observe-only: a pinned runner regenerated
+        with sampling armed must stay byte-identical to the committed
+        baseline (the telemetry acceptance pin)."""
+        import pathlib
+
+        from repro.core.run import run
+        from repro.obs import SamplingTracer
+
+        root = pathlib.Path(__file__).resolve().parent.parent
+        committed = (root / bb.baseline_filename("fig6b")).read_text()
+        result = run(
+            "fig6b", scale=bb.PINNED_SCALE, seed=bb.PINNED_SEED,
+            trace=SamplingTracer(every=3),
+        )
+        doc = bb.render(result, scale=bb.PINNED_SCALE, seed=bb.PINNED_SEED)
+        assert committed == bb.dumps(doc)

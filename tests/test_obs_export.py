@@ -1,0 +1,152 @@
+"""Exporter round trips: traces (JSONL/Chrome) and telemetry time series."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    TraceEvent,
+    Tracer,
+    read_chrome,
+    read_jsonl,
+    read_timeseries_jsonl,
+    timeseries_to_csv,
+    timeseries_to_jsonl,
+    to_chrome,
+    to_jsonl,
+)
+from repro.obs.timeseries import TimeSeries
+
+
+class TestTraceRoundTrips:
+    def test_empty_event_list_round_trips(self, tmp_path):
+        jl = tmp_path / "empty.jsonl"
+        ch = tmp_path / "empty.json"
+        assert to_jsonl([], jl) == 0
+        assert read_jsonl(jl) == []
+        assert to_chrome([], ch) == 0
+        assert read_chrome(ch) == []
+        assert json.loads(ch.read_text())["traceEvents"] == []
+
+    def test_non_ascii_op_names_survive(self, tmp_path):
+        events = [
+            TraceEvent(t=0.0, layer="meta", op="crèate", dur=0.1, stream=1,
+                       attrs={"name": "ファイル.dat"}),
+            TraceEvent(t=0.5, layer="disk", op="чтение", stream=None, attrs={}),
+        ]
+        jl = tmp_path / "uni.jsonl"
+        to_jsonl(events, jl)
+        assert read_jsonl(jl) == events
+        ch = tmp_path / "uni.json"
+        to_chrome(events, ch)
+        assert read_chrome(ch) == events
+
+    def test_large_ring_buffer_wrap_round_trips(self, tmp_path):
+        """Export after heavy eviction: only the retained tail is written,
+        in order, and it round-trips exactly."""
+        tr = Tracer(capacity=128)
+        for i in range(1000):
+            tr.emit("disk", "read", t=float(i), dur=0.5, stream=i % 7)
+        assert tr.dropped == 1000 - 128
+        events = tr.events()
+        assert [e.t for e in events] == [float(i) for i in range(872, 1000)]
+        path = tmp_path / "wrap.jsonl"
+        assert to_jsonl(events, path) == 128
+        assert read_jsonl(path) == events
+
+
+def _sample_ts():
+    ts = TimeSeries(window_s=0.5)
+    for i in range(6):
+        t = i * 0.5 + 0.1
+        ts.incr(t, "arrivals", i + 1)
+        ts.add(t, "bytes", 64.0 * i)
+        ts.observe(t, "data.latency_s", 0.001 * (i + 1))
+        ts.observe(t, "data.latency_s", 0.02 * (i + 1))
+    ts.incr(4.2, "arrivals")  # leaves gap windows 6 and 7
+    return ts.snapshot()
+
+
+class TestTimeSeriesJsonl:
+    def test_round_trip_is_exact(self, tmp_path):
+        snap = _sample_ts()
+        path = tmp_path / "ts.jsonl"
+        assert timeseries_to_jsonl(snap, path) == len(snap)
+        back = read_timeseries_jsonl(path)
+        assert back == snap
+        # Percentile queries and merges agree, not just field equality.
+        assert back.percentile_values("data.latency_s", 99.0) == \
+            snap.percentile_values("data.latency_s", 99.0)
+        assert back.merged("data.latency_s").buckets == \
+            snap.merged("data.latency_s").buckets
+
+    def test_stringio_round_trip(self):
+        snap = _sample_ts()
+        buf = io.StringIO()
+        timeseries_to_jsonl(snap, buf)
+        buf.seek(0)
+        assert read_timeseries_jsonl(buf) == snap
+
+    def test_header_carries_format_and_window(self, tmp_path):
+        snap = _sample_ts()
+        path = tmp_path / "ts.jsonl"
+        timeseries_to_jsonl(snap, path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["format"] == "repro.timeseries"
+        assert header["window_s"] == snap.window_s
+        assert header["frames"] == len(snap)
+
+    def test_empty_snapshot_round_trips(self, tmp_path):
+        snap = TimeSeries(window_s=2.0).snapshot()
+        path = tmp_path / "empty.jsonl"
+        assert timeseries_to_jsonl(snap, path) == 0
+        back = read_timeseries_jsonl(path)
+        assert back == snap and back.window_s == 2.0
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            read_timeseries_jsonl(io.StringIO(""))
+
+    def test_foreign_header_rejected(self):
+        buf = io.StringIO('{"format": "something.else"}\n')
+        with pytest.raises(ValueError, match="repro.timeseries"):
+            read_timeseries_jsonl(buf)
+
+
+class TestTimeSeriesCsv:
+    def test_shape_and_values(self):
+        snap = _sample_ts()
+        buf = io.StringIO()
+        assert timeseries_to_csv(snap, buf) == len(snap)
+        rows = list(csv.reader(io.StringIO(buf.getvalue())))
+        header, data = rows[0], rows[1:]
+        assert len(data) == len(snap)
+        assert header[:2] == ["window", "start_s"]
+        assert "arrivals" in header and "bytes" in header
+        for col in ("data.latency_s.count", "data.latency_s.p50",
+                    "data.latency_s.p99", "data.latency_s.p999"):
+            assert col in header
+        arrivals = [int(r[header.index("arrivals")]) for r in data]
+        assert arrivals == snap.counter_values("arrivals")
+        counts = [int(r[header.index("data.latency_s.count")]) for r in data]
+        assert counts == [2] * 6 + [0, 0, 0]
+
+    def test_gap_windows_render_zero(self):
+        snap = _sample_ts()
+        buf = io.StringIO()
+        timeseries_to_csv(snap, buf)
+        rows = list(csv.reader(io.StringIO(buf.getvalue())))
+        header, gap = rows[0], rows[7]  # window 6: untouched
+        assert gap[header.index("arrivals")] == "0"
+        assert gap[header.index("data.latency_s.p99")] == "0"
+
+    def test_deterministic_output(self, tmp_path):
+        snap = _sample_ts()
+        a, b = io.StringIO(), io.StringIO()
+        timeseries_to_csv(snap, a)
+        timeseries_to_csv(snap, b)
+        assert a.getvalue() == b.getvalue()

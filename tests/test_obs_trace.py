@@ -13,12 +13,14 @@ from repro.fs.stream import make_stream_id
 from repro.obs import (
     NULL_TRACER,
     NullTracer,
+    SamplingTracer,
     TraceEvent,
     Tracer,
     chrome_trace_dict,
     coerce_tracer,
     format_breakdown,
     layer_times,
+    parse_sample,
     read_chrome,
     read_jsonl,
     to_chrome,
@@ -106,6 +108,81 @@ class TestDisabledMode:
         assert isinstance(fresh, Tracer) and fresh.enabled
         mine = Tracer(capacity=7)
         assert coerce_tracer(mine) is mine
+
+
+class TestSamplingTracer:
+    def test_dormant_at_rest(self):
+        tr = SamplingTracer(every=10)
+        assert tr.enabled is False and tr.sampling is True
+        tr.emit("disk", "read", t=1.0)  # unsampled path: swallowed
+        with tr.span("fs", "write"):
+            pass
+        assert tr.events() == [] and tr.emitted == 0
+
+    def test_sampling_flags_distinguish_tracer_kinds(self):
+        # run_cells keys its serial fallback on enabled-or-sampling; a
+        # plain tracer and the null tracer must not look like samplers.
+        assert Tracer().sampling is False
+        assert NullTracer().sampling is False
+        assert SamplingTracer().sampling is True
+
+    def test_deterministic_stream_selection(self):
+        tr = SamplingTracer(every=10, offset=3)
+        assert [s for s in range(40) if tr.sampled(s)] == [3, 13, 23, 33]
+        everyone = SamplingTracer(every=1)
+        assert all(everyone.sampled(s) for s in range(5))
+
+    def test_offset_wraps_into_period(self):
+        assert SamplingTracer(every=10, offset=13).offset == 3
+
+    def test_armed_op_records_and_disarms(self):
+        tr = SamplingTracer(every=2)
+        with tr.op(4):
+            assert tr.enabled is True and tr.active_stream == 4
+            tr.emit("disk", "read", t=1.0, dur=0.5)
+        assert tr.enabled is False and tr.active_stream is None
+        (e,) = tr.events()
+        assert e.stream == 4  # inherited from the armed stream
+
+    def test_explicit_stream_wins_over_armed(self):
+        tr = SamplingTracer(every=2)
+        with tr.op(4):
+            tr.emit("disk", "read", t=1.0, stream=9)
+        (e,) = tr.events()
+        assert e.stream == 9
+
+    def test_disarms_on_exception(self):
+        tr = SamplingTracer(every=2)
+        with pytest.raises(RuntimeError):
+            with tr.op(0):
+                raise RuntimeError("boom")
+        assert tr.enabled is False and tr.active_stream is None
+
+    def test_period_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            SamplingTracer(every=0)
+
+    def test_coerce_passes_sampler_through(self):
+        tr = SamplingTracer(every=5)
+        assert coerce_tracer(tr) is tr
+
+
+class TestParseSample:
+    def test_accepted_forms(self):
+        assert parse_sample(1000) == 1000
+        assert parse_sample("1/1000") == 1000
+        assert parse_sample(" 1/50 ") == 50
+        assert parse_sample("25") == 25
+
+    def test_rejected_forms(self):
+        with pytest.raises(ValueError, match="1/N"):
+            parse_sample("2/1000")
+        with pytest.raises(ValueError, match=">= 1"):
+            parse_sample(0)
+        with pytest.raises(ValueError, match=">= 1"):
+            parse_sample("1/0")
+        with pytest.raises(ValueError):
+            parse_sample("1/abc")
 
 
 SAMPLE = [

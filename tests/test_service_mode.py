@@ -3,24 +3,28 @@
 Covers the three ISSUE-pinned properties — lazy-vs-materialized program
 equivalence (hypothesis), open-loop determinism at any job count, and
 bounded memory at a million streams — plus unit coverage of the heap
-loop and the bounded-queue station math.
+loop and the bounded-queue station math, and the observability layer:
+telemetry frames, SLO verdicts, per-kind drop accounting and the
+sampled-tracing fast-path guarantee.
 """
 
 from __future__ import annotations
 
+import json
 import tracemalloc
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.cli import main
 from repro.core.run import run
 from repro.errors import ConfigError
 from repro.fs.dataplane import DataPlane
 from repro.meta.mds import MetadataServer
 from repro.sim.clock import SimClock
 from repro.sim.events import EventLoop, Station
-from repro.units import KiB
+from repro.units import KiB, MiB
 from repro.workloads.base import (
     MetaOp,
     ReadOp,
@@ -300,6 +304,20 @@ class TestServiceRunner:
         assert batched.fingerprint == legacy.fingerprint
         assert batched.payload == legacy.payload
 
+    def test_reports_depth_and_drops_by_kind(self):
+        r = run("service", streams=300, rate="large", duration="short",
+                seed=1, queue_depth=4)
+        cell = r.payload.cells[0]
+        data = cell.stations["data"]
+        meta = cell.stations["meta"]
+        assert data.depth == 4 and meta.depth == 4
+        assert set(data.drops_by_kind) == {"write", "read"}
+        assert set(meta.drops_by_kind) == {"meta"}
+        # The per-kind split partitions each station's drop count.
+        assert sum(data.drops_by_kind.values()) == data.dropped
+        assert sum(meta.drops_by_kind.values()) == meta.dropped
+        assert data.dropped > 0  # overload at depth 4: the split is live
+
     @pytest.mark.slow
     def test_million_streams_bounded_memory(self):
         """A 1M-stream open-loop run completes without materializing
@@ -318,3 +336,206 @@ class TestServiceRunner:
         st_ = cell.stations["data"]
         assert st_.p999_s >= st_.p99_s >= st_.p50_s > 0.0
         assert peak < 64 * 1024 * 1024, f"peak {peak / 1e6:.1f} MB"
+
+
+# -- telemetry, SLOs and sampled tracing -------------------------------------
+
+class TestServiceTelemetry:
+    def test_telemetry_produces_frame_grid(self):
+        r = run("service", streams=200, rate="small", duration="short",
+                seed=0, telemetry=True)
+        cell = r.payload.cells[0]
+        ts = cell.telemetry
+        assert ts is not None
+        # 50 windows across the arrival window (the last window may be
+        # trimmed if nothing landed there).
+        assert ts.window_s == pytest.approx(cell.duration_s / 50)
+        assert 0 < len(ts.frames) <= 51
+        # The loop-level arrivals counter accounts for every arrival.
+        assert sum(ts.counter_values("arrivals")) == cell.arrivals
+        assert "data.latency_s" in ts.hist_names()
+        assert "data.queue_depth" in ts.hist_names()
+        assert "data.busy_s" in ts.sum_names()
+        # Station arrivals split by kind sum back to the station total.
+        per_kind = sum(
+            sum(ts.counter_values(f"data.{kind}.arrivals"))
+            for kind in ("write", "read")
+        )
+        assert per_kind == sum(ts.counter_values("data.arrivals"))
+
+    def test_explicit_window_width(self):
+        r = run("service", streams=100, rate="small", duration="short",
+                seed=0, telemetry=0.25)
+        assert r.payload.cells[0].telemetry.window_s == 0.25
+
+    def test_telemetry_off_by_default(self):
+        r = run("service", streams=100, rate="small", duration="short", seed=0)
+        cell = r.payload.cells[0]
+        assert cell.telemetry is None and cell.slo is None
+        assert r.payload.slo_verdict is None
+
+    def test_slo_implies_telemetry_and_reports_verdict(self):
+        r = run("service", streams=200, rate="small", duration="short",
+                seed=0, slo=True)
+        cell = r.payload.cells[0]
+        assert cell.telemetry is not None
+        assert cell.slo is not None
+        assert {o.objective.series for o in cell.slo.results} == {
+            "data.latency_s", "meta.latency_s",
+        }
+        assert cell.slo.verdict == "pass"
+        assert r.payload.slo_verdict == "pass"
+
+    def test_impossible_slo_fails(self):
+        # p50 can legitimately be 0.0 in windows dominated by zero-cost
+        # ops (cache hits), so even an absurd threshold doesn't taint
+        # *every* window — but enough to blow any budget.
+        r = run("service", streams=200, rate="small", duration="short",
+                seed=0, slo="data.latency_s:p50<=1e-12")
+        assert r.payload.slo_verdict == "fail"
+        result = r.payload.cells[0].slo.results[0]
+        assert result.windows > 0
+        assert 0 < result.bad_windows <= result.windows
+        assert result.burn_rate > 1.0
+        assert result.worst > 0.0
+
+    def test_telemetry_does_not_change_results_or_fingerprint(self):
+        kw = dict(streams=200, rate="small", duration="short", seed=0)
+        bare = run("service", **kw)
+        observed = run("service", telemetry=True, slo=True, sample="1/50", **kw)
+        assert bare.fingerprint == observed.fingerprint
+        assert bare.phases == observed.phases
+        assert bare.payload.cells[0].stations == observed.payload.cells[0].stations
+
+    def test_determinism_across_jobs_and_repeats(self):
+        kw = dict(streams=200, rates=("small", "medium"), duration="short",
+                  seed=3, telemetry=True, slo=True)
+        serial = run("service", **kw)
+        fanned = run("service", jobs=4, **kw)
+        again = run("service", **kw)
+        assert serial.payload == fanned.payload == again.payload
+        for a, b in zip(serial.payload.cells, fanned.payload.cells):
+            assert a.telemetry == b.telemetry
+            assert a.slo == b.slo
+
+
+class TestSampledTracing:
+    #: Large requests make every service op a multi-request batch, which is
+    #: what engages the vectorized array path (single-request batches take
+    #: the scalar path in any configuration).
+    KW = dict(streams=200, rate="small", duration="short", seed=0,
+              request_bytes=4 * MiB)
+
+    def test_sampling_keeps_vectorized_path_engaged(self):
+        base = run("service", **self.KW)
+        sampled = run("service", sample="1/10", **self.KW)
+        traced = run("service", trace=True, **self.KW)
+        prof_base = base.payload.cells[0].io_profile
+        prof_sampled = sampled.payload.cells[0].io_profile
+        prof_traced = traced.payload.cells[0].io_profile
+        # Untelemetered: everything vectorizes.
+        assert prof_base["batches_vectorized"] > 0
+        assert prof_base["batches_scalar"] == 0
+        # Sampled: only the armed ops divert; the bulk stays vectorized.
+        assert prof_sampled["batches_vectorized"] > 0
+        assert prof_sampled["batches_scalar"] > 0
+        assert prof_sampled["batches_vectorized"] > prof_sampled["batches_scalar"]
+        # A whole-run tracer forces every batch scalar — the contrast that
+        # makes the sampling guarantee meaningful.
+        assert prof_traced["batches_vectorized"] == 0
+        assert prof_traced["batches_scalar"] > 0
+
+    def test_sampling_does_not_perturb_results(self):
+        base = run("service", **self.KW)
+        sampled = run("service", sample="1/10", **self.KW)
+        assert base.payload.cells[0].stations == sampled.payload.cells[0].stations
+        assert base.phases == sampled.phases
+
+    def test_sampled_events_tag_only_sampled_streams(self):
+        r = run("service", sample="1/10", **self.KW)
+        events = r.trace.events()
+        assert events, "sampling 1/10 of 200 streams must trace something"
+        streams = {e.stream for e in events if e.stream is not None}
+        assert streams, "armed events must carry stream ids"
+        assert all(s % 10 == 0 for s in streams)
+        # The service layer brackets each sampled op end-to-end.
+        service_ops = {e.op for e in events if e.layer == "service"}
+        assert any(op.endswith(".arrive") for op in service_ops)
+        assert any(op.endswith(".sojourn") for op in service_ops)
+
+    def test_explicit_tracer_wins_over_sample(self):
+        from repro.obs import Tracer
+
+        tr = Tracer()
+        r = run("service", trace=tr, sample="1/10",
+                streams=100, rate="small", duration="short", seed=0)
+        assert r.trace is tr
+
+
+class TestServiceCliTelemetry:
+    ARGS = ["service", "--streams", "200", "--rate", "small",
+            "--duration", "short", "--seed", "0"]
+
+    def test_telemetry_flags_render_and_export(self, tmp_path, capsys):
+        csv_path = tmp_path / "ts.csv"
+        dash_path = tmp_path / "dash.txt"
+        out_path = tmp_path / "svc.json"
+        rc = main(self.ARGS + [
+            "--telemetry", "--slo", "--sample", "1/50",
+            "--telemetry-out", str(csv_path),
+            "--dashboard-out", str(dash_path),
+            "--out", str(out_path),
+        ])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "drops by kind" in text
+        assert "burn rate" in text
+        assert "overall SLO verdict: pass" in text
+        assert csv_path.read_text().startswith("window,start_s")
+        assert "data.latency_s" in dash_path.read_text()
+        doc = json.loads(out_path.read_text())
+        assert doc["slo_verdict"] == "pass"
+
+    def test_slo_failure_exits_nonzero(self, capsys):
+        rc = main(self.ARGS + ["--slo", "data.latency_s:p50<=1e-12"])
+        assert rc == 1
+        assert "overall SLO verdict: fail" in capsys.readouterr().out
+
+    def test_plain_run_has_no_slo_exit_semantics(self, capsys):
+        assert main(self.ARGS) == 0
+        assert "SLO" not in capsys.readouterr().out
+
+
+class TestTelemetryOverhead:
+    @pytest.mark.slow
+    def test_million_streams_telemetry_overhead_bounded(self):
+        """The observability acceptance pin: a 1M-stream run with
+        per-window telemetry and 1/1000 sampled tracing stays within
+        1.25x the untelemetered wall clock, and perturbs nothing (the
+        fast-path introspection half of the pin lives in
+        TestSampledTracing, at an operating point where the vectorized
+        path actually engages)."""
+        import time
+
+        kw = dict(streams=1_000_000, rate=0.005, duration="short", seed=0)
+
+        def best_of_two(**extra):
+            best, result = float("inf"), None
+            for _ in range(2):
+                t0 = time.perf_counter()
+                result = run("service", **kw, **extra)
+                best = min(best, time.perf_counter() - t0)
+            return best, result
+
+        base_s, base = best_of_two()
+        obs_s, obs = best_of_two(telemetry=True, sample="1/1000")
+        cell = obs.payload.cells[0]
+        assert cell.telemetry is not None and len(cell.telemetry.frames) > 0
+        assert sum(cell.telemetry.counter_values("arrivals")) == cell.arrivals
+        assert obs.trace.events(), "1/1000 of 1M streams must trace something"
+        # Observe-only: identical stations, at bounded overhead.
+        assert base.payload.cells[0].stations == cell.stations
+        assert obs_s < 1.25 * base_s, (
+            f"telemetry overhead {obs_s / base_s:.2f}x exceeds 1.25x "
+            f"({obs_s:.2f}s vs {base_s:.2f}s)"
+        )
