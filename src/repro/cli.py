@@ -910,6 +910,42 @@ def print_service(run_result, args) -> int:
     return 1 if report.slo_verdict == "fail" else 0
 
 
+def print_fig_listio(run_result, args) -> int:
+    result = run_result.payload
+    table = Table(
+        "List I/O — scalar loop vs scatter-gather lists (MiB/s)",
+        ["pattern", "phase", "scalar", "listio", "gain"],
+    )
+    for pattern in ("strided", "tile"):
+        try:
+            scalar = result.get(pattern, "scalar")
+            listio = result.get(pattern, "listio")
+        except KeyError:
+            continue
+        for phase in ("write", "read"):
+            s = scalar.write_mib_s if phase == "write" else scalar.read_mib_s
+            v = listio.write_mib_s if phase == "write" else listio.read_mib_s
+            table.add_row([pattern, phase, s, v, format_pct(v / s - 1)])
+    table.print()
+    headers = Table(
+        "Request headers shipped (one per submitted batch per disk)",
+        ["pattern", "scalar", "listio"],
+    )
+    for pattern in ("strided", "tile"):
+        try:
+            headers.add_row(
+                [
+                    pattern,
+                    result.get(pattern, "scalar").request_headers,
+                    result.get(pattern, "listio").request_headers,
+                ]
+            )
+        except KeyError:
+            continue
+    headers.print()
+    return 0
+
+
 #: Every runner-backed subcommand, declaratively.  ``build_parser`` wires
 #: these in a loop; ``--jobs`` / ``--exec`` attach themselves by inspecting
 #: the registered runner's signature.
@@ -932,6 +968,12 @@ RUNNER_COMMANDS: tuple[RunnerCommand, ...] = (
     RunnerCommand(
         "fig10", "Fig 10: PostMark and applications", print_fig10,
         default_scale=0.5,
+    ),
+    RunnerCommand(
+        "fig_listio",
+        "list I/O: strided/tile access, scalar loop vs readv/writev "
+        "(docs/LISTIO.md)",
+        print_fig_listio,
     ),
     RunnerCommand(
         "faults",

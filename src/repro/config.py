@@ -9,6 +9,7 @@ window ramp) and ordinary Linux defaults elsewhere.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigError
@@ -36,6 +37,14 @@ class DiskParams:
     #: Positioning gaps of at most this many blocks are charged the near-seek
     #: cost only (head stays on track; models track buffer / skip-read).
     near_gap_blocks: int = 64
+    #: Fixed per-submission charge (request shipping + command setup,
+    #: seconds), paid once per submitted batch by each disk the batch
+    #: touches.  A scatter-gather list request ships its whole region list
+    #: under one header, while a loop of scalar operations pays one header
+    #: per operation — PVFS's "noncontiguous I/O in one request" effect
+    #: (see docs/LISTIO.md).  The default of 0 preserves the historical
+    #: positioning+transfer-only model.
+    request_header_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.block_size <= 0 or self.block_size % 512 != 0:
@@ -52,6 +61,8 @@ class DiskParams:
             raise ConfigError(f"rotational_s must be >= 0: {self.rotational_s}")
         if self.near_gap_blocks < 0:
             raise ConfigError(f"near_gap_blocks must be >= 0: {self.near_gap_blocks}")
+        if self.request_header_s < 0:
+            raise ConfigError(f"request_header_s must be >= 0: {self.request_header_s}")
 
     @property
     def transfer_s_per_block(self) -> float:
@@ -286,20 +297,26 @@ class FSConfig:
         if self.execution not in ("batched", "legacy"):
             raise ConfigError(f"unknown execution profile: {self.execution!r}")
 
-    # -- execution profile views (read-only; see ``execution``) ---------------
+    # -- deprecated execution profile views (see ``execution``) ----------------
+    # Reading these warns: internal hot paths read ``execution`` directly,
+    # so a DeprecationWarning here can only come from external callers that
+    # should migrate to the profile string.
     @property
     def io_batching(self) -> bool:
-        """Batched data-path submission (profile view of ``execution``)."""
+        """Deprecated view of ``execution == "batched"`` (data path)."""
+        _warn_execution_view("io_batching")
         return self.execution == "batched"
 
     @property
     def vectorized_disks(self) -> bool:
-        """numpy batch disk service-time model (profile view of ``execution``)."""
+        """Deprecated view of ``execution == "batched"`` (disk model)."""
+        _warn_execution_view("vectorized_disks")
         return self.execution == "batched"
 
     @property
     def meta_batching(self) -> bool:
-        """Batched metadata plan execution (profile view of ``execution``)."""
+        """Deprecated view of ``execution == "batched"`` (metadata path)."""
+        _warn_execution_view("meta_batching")
         return self.execution == "batched"
 
     def with_policy(self, policy: str, **overrides: object) -> "FSConfig":
@@ -310,6 +327,15 @@ class FSConfig:
     def with_layout(self, layout: str) -> "FSConfig":
         """Copy of this config with a different directory layout."""
         return replace(self, meta=replace(self.meta, layout=layout))
+
+
+def _warn_execution_view(name: str) -> None:
+    warnings.warn(
+        f"FSConfig.{name} is deprecated; compare FSConfig.execution against "
+        "'batched' or 'legacy' instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 # Deprecated constructor aliases: the per-path batching booleans collapsed
@@ -325,8 +351,6 @@ _fsconfig_dataclass_init = FSConfig.__init__
 def _fsconfig_init(self, *args, **kwargs) -> None:
     legacy = {k: kwargs.pop(k) for k in _LEGACY_EXECUTION_FLAGS if k in kwargs}
     if legacy:
-        import warnings
-
         names = ", ".join(sorted(legacy))
         warnings.warn(
             f"FSConfig({names}=...) is deprecated; use "

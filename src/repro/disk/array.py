@@ -19,7 +19,6 @@ import numpy as np
 from repro.config import DiskParams, SchedulerParams
 from repro.disk.disk import SimulatedDisk
 from repro.disk.model import BlockRequest
-from repro.disk.scheduler import ElevatorScheduler
 from repro.errors import SimulationError
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.sim.metrics import Metrics
@@ -58,8 +57,8 @@ class DiskArray:
         # scheduler that can arrange parallel arrays; both are fixed at
         # construction.  Tracing and fault injection are re-checked per
         # batch (they can toggle mid-run).
-        self._arrays_capable = vectorized and isinstance(
-            self.disks[0].scheduler, ElevatorScheduler
+        self._arrays_capable = vectorized and hasattr(
+            self.disks[0].scheduler, "arrange_arrays"
         )
         # Execution-profile introspection: which submit path serviced each
         # batch.  Kept off the Metrics bag on purpose — the scalar and

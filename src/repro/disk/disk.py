@@ -80,6 +80,21 @@ class SimulatedDisk:
         """Torn writes injected so far (0 without an injector)."""
         return 0 if self.injector is None else self.injector.torn_writes
 
+    def _charge_header(self) -> float:
+        """Bill one per-submission request header (0 when unconfigured).
+
+        Charged once per submit call on this disk, regardless of how many
+        runs the submission carries — which is exactly what makes one
+        scatter-gather list request cheaper than the equivalent loop of
+        scalar submissions when ``DiskParams.request_header_s`` is nonzero.
+        """
+        header = self.model.header_s
+        if header > 0.0:
+            self._busy_s += header
+            self._counters["disk.request_headers"] += 1
+            self.metrics.add("disk.header_s", header)
+        return header
+
     def attach_injector(self, injector) -> None:
         """Install a :class:`~repro.fault.injector.FaultInjector` beneath
         the request loop, wired into this disk's metrics and tracer."""
@@ -106,6 +121,7 @@ class SimulatedDisk:
                     f"{self.params.capacity_blocks}"
                 )
         total = 0.0
+        header = self._charge_header()
         tracer = self.tracer
         try:
             total = self._service(self.scheduler.arrange(requests), tracer)
@@ -114,7 +130,7 @@ class SimulatedDisk:
             # it fired; _service returns via its partial-total attribute.
             self._busy_s += self._partial_s
             self._partial_s = 0.0
-        return total
+        return total + header
 
     def _service(self, arranged, tracer: Tracer | NullTracer) -> float:
         if self.vectorized and self.injector is None and len(arranged) > 1:
@@ -276,6 +292,7 @@ class SimulatedDisk:
         if starts.shape[0] == 0:
             return 0.0
         total = 0.0
+        header = self._charge_header()
         self._partial_s = 0.0
         try:
             a_starts, a_nblocks, a_writes = self.scheduler.arrange_arrays(
@@ -285,7 +302,7 @@ class SimulatedDisk:
         finally:
             self._busy_s += self._partial_s
             self._partial_s = 0.0
-        return total
+        return total + header
 
     def submit(self, request: BlockRequest) -> float:
         """Service a single request (degenerate batch)."""
@@ -310,6 +327,7 @@ class SimulatedDisk:
                 f"{self.name}: request [{start}, {end}) beyond capacity "
                 f"{self.params.capacity_blocks}"
             )
+        header = self._charge_header()
         counters = self._counters
         counters["scheduler.batches"] += 1
         counters["scheduler.requests_in"] += 1
@@ -333,7 +351,7 @@ class SimulatedDisk:
         else:
             counters["disk.read_requests"] += 1
             counters["disk.read_blocks"] += nblocks
-        return total
+        return total + header
 
     def reset_timeline(self) -> None:
         """Zero the busy-time accumulator (head position is retained)."""

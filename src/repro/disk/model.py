@@ -85,6 +85,10 @@ class ServiceTimeModel:
         self.params = params
         self._transfer = params.transfer_s_per_block
         self._span = float(params.capacity_blocks)
+        #: Per-submission request-header charge (0 by default).  A
+        #: scatter-gather list submission pays this once for its whole
+        #: region list; a loop of scalar submissions pays it per call.
+        self.header_s = params.request_header_s
 
     def positioning_time(self, head: int, start: int) -> float:
         """Seconds to move the head from block ``head`` to block ``start``."""

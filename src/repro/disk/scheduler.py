@@ -46,6 +46,24 @@ class FifoScheduler:
             )
         return merged
 
+    def arrange_arrays(
+        self, starts: np.ndarray, nblocks: np.ndarray, writes: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Array form of :meth:`arrange` for the batched I/O pipeline.
+
+        Arrival order is preserved (no sort); only back-to-back runs within
+        ``merge_gap_blocks`` merge, exactly as :meth:`arrange` does.  Same
+        caller contract as the elevator's ``arrange_arrays``.
+        """
+        n = starts.shape[0]
+        self.metrics.incr("scheduler.batches")
+        self.metrics.incr("scheduler.requests_in", n)
+        s, b, w = _merge_arrays(
+            starts, nblocks, writes, self.params.merge_gap_blocks
+        )
+        self.metrics.incr("scheduler.requests_out", int(s.shape[0]))
+        return s, b, w
+
 
 class ElevatorScheduler:
     """Sort each batch by start block, then merge near-contiguous runs.
@@ -112,29 +130,7 @@ class ElevatorScheduler:
             # lexsort is stable, so full (start, nblocks) ties keep arrival
             # order — the same permutation sorted() produces in arrange().
             order = np.lexsort((b, s))
-            s = s[order]
-            b = b[order]
-            w = w[order]
-            if s.shape[0] > 1:
-                e = s + b
-                # A run merges into its predecessor exactly when the gap is
-                # in [0, gap] and the kind matches; a merged run always ends
-                # at its last request's end, so the pairwise test over the
-                # sorted arrays reproduces _merge_sorted's chains.
-                d = s[1:] - e[:-1]
-                heads = np.empty(s.shape[0], dtype=bool)
-                heads[0] = True
-                np.logical_not(
-                    (w[1:] == w[:-1]) & (d >= 0) & (d <= gap), out=heads[1:]
-                )
-                idx = np.flatnonzero(heads)
-                if idx.shape[0] != s.shape[0]:
-                    last = np.empty_like(idx)
-                    last[:-1] = idx[1:] - 1
-                    last[-1] = s.shape[0] - 1
-                    s = s[idx]
-                    b = e[last] - s
-                    w = w[idx]
+            s, b, w = _merge_arrays(s[order], b[order], w[order], gap)
             out_s.append(s)
             out_n.append(b)
             out_w.append(w)
@@ -157,6 +153,33 @@ def make_scheduler(
     if params.kind == "fifo":
         return FifoScheduler(params, metrics, tracer)
     return ElevatorScheduler(params, metrics, tracer)
+
+
+def _merge_arrays(
+    s: np.ndarray, b: np.ndarray, w: np.ndarray, gap: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`_merge_sorted` over parallel dispatch-order arrays.
+
+    A run merges into its predecessor exactly when the gap is in
+    ``[0, gap]`` and the kind matches; a merged run always ends at its last
+    request's end, so the pairwise test over the arrays reproduces
+    ``_merge_sorted``'s chains in any dispatch order (sorted or arrival).
+    """
+    if s.shape[0] <= 1:
+        return s, b, w
+    e = s + b
+    d = s[1:] - e[:-1]
+    heads = np.empty(s.shape[0], dtype=bool)
+    heads[0] = True
+    np.logical_not((w[1:] == w[:-1]) & (d >= 0) & (d <= gap), out=heads[1:])
+    idx = np.flatnonzero(heads)
+    if idx.shape[0] == s.shape[0]:
+        return s, b, w
+    last = np.empty_like(idx)
+    last[:-1] = idx[1:] - 1
+    last[-1] = s.shape[0] - 1
+    s = s[idx]
+    return s, e[last] - s, w[idx]
 
 
 def _merge_sorted(requests: Iterable[BlockRequest], gap: int) -> list[BlockRequest]:

@@ -89,6 +89,18 @@ class ClientSession:
         The first open issues one aggregated open+getlayout; repeats hit
         the client cache while the server-side generation is unchanged.
         """
+        return self._layout(path)
+
+    def _layout(self, path: str) -> CachedLayout:
+        """One layout lookup with hit/miss accounting.
+
+        Every data operation — read, write, readv, writev — routes through
+        here exactly once, so ``stats.layout_cache_hits`` and
+        ``stats.mds_requests`` count the same way on both sides of the
+        read/write split (the write path historically skipped the lookup
+        entirely, leaving its interaction accounting inconsistent with the
+        read path's).
+        """
         generation = self._generations.get(path)
         cached = self._layouts.get(path)
         if cached is not None and generation == cached.generation:
@@ -108,6 +120,7 @@ class ClientSession:
     def write(self, path: str, offset: int, nbytes: int, pid: int = 0) -> float:
         """Write through the session; extends invalidate the cached layout
         (its generation bumps when new extents appear)."""
+        self._layout(path)  # layout needed; usually a cache hit
         f = self.fs.file_handle(path)
         before = (f.mapped_blocks, f.extent_count)
         elapsed = self.fs.write(path, offset, nbytes, stream=self.stream(pid))
@@ -116,8 +129,31 @@ class ClientSession:
         return elapsed
 
     def read(self, path: str, offset: int, nbytes: int, pid: int = 0) -> float:
-        self.open(path)  # layout needed; usually a cache hit
+        self._layout(path)  # layout needed; usually a cache hit
         return self.fs.read(path, offset, nbytes)
+
+    # -- scatter-gather list I/O ---------------------------------------------------
+    def writev(
+        self, path: str, regions: list[tuple[int, int]], pid: int = 0
+    ) -> float:
+        """Scatter-gather write: the whole region list costs one layout
+        lookup (one billed MDS round trip on a cache miss) and one
+        submitted batch, instead of one of each per region."""
+        self._layout(path)
+        f = self.fs.file_handle(path)
+        before = (f.mapped_blocks, f.extent_count)
+        elapsed = self.fs.writev(path, regions, stream=self.stream(pid))
+        if (f.mapped_blocks, f.extent_count) != before:
+            self._generations[path] = self._generations.get(path, 0) + 1
+        return elapsed
+
+    def readv(
+        self, path: str, regions: list[tuple[int, int]], pid: int = 0
+    ) -> float:
+        """Scatter-gather read: one layout lookup and one submitted batch
+        for the whole region list."""
+        self._layout(path)
+        return self.fs.readv(path, regions)
 
     # -- the readdir-stat aggregation ----------------------------------------------
     def ls_l(self, dirpath: str) -> list[Inode]:

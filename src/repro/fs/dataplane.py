@@ -37,12 +37,15 @@ class DataPlane:
         self.config = config
         self.metrics = metrics if metrics is not None else Metrics()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Execution profile, resolved once: the request path must never
+        # read the deprecated FSConfig boolean views (they warn).
+        self._batched = config.execution == "batched"
         # Untimed layers (allocator, free space) stamp events with the
         # array's elapsed time; an already-bound clock wins.
         self.tracer.bind_clock(lambda: self.array.elapsed_s)
         self.array = DiskArray(
             config.ndisks, config.disk, config.scheduler, self.metrics, self.tracer,
-            vectorized=config.vectorized_disks,
+            vectorized=self._batched,
         )
         self.fsm = FreeSpaceManager(
             config.ndisks,
@@ -138,6 +141,25 @@ class DataPlane:
         return requests
 
     # -- I/O ----------------------------------------------------------------
+    def _check_range(self, offset: int, nbytes: int, op: str) -> None:
+        """Unified request-range validation for all four data operations.
+
+        Every rejected range raises :class:`~repro.errors.ReproError` (the
+        read path historically raised ``ValueError`` for negative offsets
+        while zero-length requests raised ``ReproError``; callers now catch
+        one type).
+        """
+        if nbytes <= 0:
+            raise ReproError(f"{op} of {nbytes} bytes")
+        if offset < 0:
+            raise ReproError(f"negative {op} range: offset={offset} length={nbytes}")
+
+    def _span(self, offset: int, nbytes: int) -> tuple[int, int]:
+        """``(first logical block, block count)`` of a validated range."""
+        bs = self.block_size
+        lb = offset // bs
+        return lb, (offset + nbytes - 1) // bs - lb + 1
+
     def write(
         self, f: RedbudFile, stream: StreamId, offset: int, nbytes: int
     ) -> list[BlockRequest]:
@@ -147,43 +169,15 @@ class DataPlane:
         (data buffered); :meth:`fsync` materializes it.
         """
         self._check_live(f)
-        if nbytes <= 0:
-            raise ReproError(f"write of {nbytes} bytes")
-        if offset < 0:
-            raise ValueError(f"negative range: offset={offset} length={nbytes}")
-        # block_span(offset, nbytes, block_size) inlined: one call per write
-        # adds up across a sweep, and nbytes > 0 is already established.
-        bs = self.block_size
-        lb = offset // bs
-        nb = (offset + nbytes - 1) // bs - lb + 1
-        if self.config.io_batching:
-            requests = self._write_batched(f, stream, lb, nb)
+        self._check_range(offset, nbytes, "write")
+        lb, nb = self._span(offset, nbytes)
+        if self._batched:
+            runs_out: list[tuple[int, int]] = []
+            self._map_write(f, stream, lb, nb, runs_out)
+            requests = self._emit(runs_out, True)
         else:
             requests = []
-            for slot, dstart, dcount in self._segments(f, lb, nb):
-                smap = f.maps[slot]
-                if self.policy.cow:
-                    # Copy-on-write: overwrites are relocated — unmap and free
-                    # any written blocks in range so they reallocate below.
-                    for ext in smap.remove_range(dstart, dcount):
-                        self.fsm.free(ext.physical, ext.length)
-                        self.metrics.incr("fs.cow_relocated_blocks", ext.length)
-                holes = smap.holes_in_range(dstart, dcount)
-                smap.mark_written(dstart, dcount)
-                buffered = False
-                for h_start, h_count in holes:
-                    runs = self.policy.allocate(
-                        f.file_id, stream, self._target(f, slot), h_start, h_count
-                    )
-                    if not runs:
-                        buffered = True  # delayed allocation
-                        continue
-                    self._insert_runs(smap, runs)
-                for ext in smap.lookup_range(dstart, dcount):
-                    if not ext.unwritten:
-                        requests.append(BlockRequest(ext.physical, ext.length, is_write=True))
-                if buffered:
-                    self.metrics.incr("fs.buffered_writes")
+            self._map_write_legacy(f, stream, lb, nb, requests)
         end = offset + nbytes
         if end > f.size_bytes:
             f.size_bytes = end
@@ -192,9 +186,93 @@ class DataPlane:
         counters["fs.bytes_written"] += nbytes
         return requests
 
-    def _write_batched(
-        self, f: RedbudFile, stream: StreamId, lb: int, nb: int
+    def writev(
+        self,
+        f: RedbudFile,
+        stream: StreamId,
+        regions: list[tuple[int, int]],
     ) -> list[BlockRequest]:
+        """Map one scatter-gather write over ``(offset, nbytes)`` regions.
+
+        Equivalent to the in-order loop of scalar :meth:`write` calls —
+        same extents, same allocation decisions, same per-byte metrics —
+        but the whole region list feeds one :meth:`_emit` pass, so
+        physically adjacent runs coalesce *across* non-adjacent logical
+        regions and the caller submits a single batch.
+        """
+        self._check_live(f)
+        if not regions:
+            raise ReproError("writev of an empty region list")
+        for offset, nbytes in regions:
+            self._check_range(offset, nbytes, "writev")
+        if self._batched:
+            runs_out: list[tuple[int, int]] = []
+            for offset, nbytes in regions:
+                lb, nb = self._span(offset, nbytes)
+                self._map_write(f, stream, lb, nb, runs_out)
+            requests = self._emit(runs_out, True)
+        else:
+            requests = []
+            for offset, nbytes in regions:
+                lb, nb = self._span(offset, nbytes)
+                self._map_write_legacy(f, stream, lb, nb, requests)
+        total = 0
+        end_max = f.size_bytes
+        for offset, nbytes in regions:
+            total += nbytes
+            end = offset + nbytes
+            if end > end_max:
+                end_max = end
+        f.size_bytes = end_max
+        counters = self._counters
+        counters["fs.writes"] += len(regions)
+        counters["fs.bytes_written"] += total
+        counters["fs.listio_writes"] += 1
+        counters["fs.listio_regions"] += len(regions)
+        return requests
+
+    def _map_write_legacy(
+        self,
+        f: RedbudFile,
+        stream: StreamId,
+        lb: int,
+        nb: int,
+        requests: list[BlockRequest],
+    ) -> None:
+        """Legacy per-segment write mapping; appends onto ``requests``."""
+        for slot, dstart, dcount in self._segments(f, lb, nb):
+            smap = f.maps[slot]
+            if self.policy.cow:
+                # Copy-on-write: overwrites are relocated — unmap and free
+                # any written blocks in range so they reallocate below.
+                for ext in smap.remove_range(dstart, dcount):
+                    self.fsm.free(ext.physical, ext.length)
+                    self.metrics.incr("fs.cow_relocated_blocks", ext.length)
+            holes = smap.holes_in_range(dstart, dcount)
+            smap.mark_written(dstart, dcount)
+            buffered = False
+            for h_start, h_count in holes:
+                runs = self.policy.allocate(
+                    f.file_id, stream, self._target(f, slot), h_start, h_count
+                )
+                if not runs:
+                    buffered = True  # delayed allocation
+                    continue
+                self._insert_runs(smap, runs)
+            for ext in smap.lookup_range(dstart, dcount):
+                if not ext.unwritten:
+                    requests.append(BlockRequest(ext.physical, ext.length, is_write=True))
+            if buffered:
+                self.metrics.incr("fs.buffered_writes")
+
+    def _map_write(
+        self,
+        f: RedbudFile,
+        stream: StreamId,
+        lb: int,
+        nb: int,
+        runs_out: list[tuple[int, int]],
+    ) -> None:
         """Batched-pipeline write mapping: same extents, metrics and
         coalesced requests as the legacy per-segment path, with the common
         case short-circuited.
@@ -202,7 +280,9 @@ class DataPlane:
         A segment appended past its slot's EOF is one whole hole, so the
         hole scan, the unwritten conversion and the post-allocation range
         lookup are all skipped — the policy's runs *are* the written blocks.
-        Requests coalesce inline instead of in a second pass.
+        ``(physical, length)`` runs append onto ``runs_out`` for the caller
+        to coalesce in one :meth:`_emit` pass (:meth:`writev` passes the
+        accumulated runs of a whole region list).
         """
         policy = self.policy
         cow = policy.cow
@@ -211,7 +291,6 @@ class DataPlane:
         target = self._target
         maps = f.maps
         file_id = f.file_id
-        runs_out: list[tuple[int, int]] = []
         nbuffered = 0
         for slot, dstart, dcount in self._segments(f, lb, nb):
             smap = maps[slot]
@@ -245,34 +324,72 @@ class DataPlane:
                 nbuffered += 1
         if nbuffered:
             self.metrics.incr("fs.buffered_writes", nbuffered)
-        return self._emit(runs_out, True)
 
     def read(self, f: RedbudFile, offset: int, nbytes: int) -> list[BlockRequest]:
         """Map a read and return its physical requests (holes read as zeros
         and cost nothing)."""
         self._check_live(f)
-        if nbytes <= 0:
-            raise ReproError(f"read of {nbytes} bytes")
-        if offset < 0:
-            raise ValueError(f"negative range: offset={offset} length={nbytes}")
-        bs = self.block_size
-        lb = offset // bs
-        nb = (offset + nbytes - 1) // bs - lb + 1
-        if self.config.io_batching:
+        self._check_range(offset, nbytes, "read")
+        lb, nb = self._span(offset, nbytes)
+        if self._batched:
             runs_out: list[tuple[int, int]] = []
             for slot, dstart, dcount in self._segments(f, lb, nb):
                 runs_out.extend(f.maps[slot].physical_runs(dstart, dcount))
             requests = self._emit(runs_out, False)
         else:
             requests = []
-            for slot, dstart, dcount in self._segments(f, lb, nb):
-                for ext in f.maps[slot].lookup_range(dstart, dcount):
-                    if not ext.unwritten:
-                        requests.append(BlockRequest(ext.physical, ext.length, is_write=False))
+            self._map_read_legacy(f, lb, nb, requests)
         counters = self._counters
         counters["fs.reads"] += 1
         counters["fs.bytes_read"] += nbytes
         return requests
+
+    def readv(
+        self, f: RedbudFile, regions: list[tuple[int, int]]
+    ) -> list[BlockRequest]:
+        """Map one scatter-gather read over ``(offset, nbytes)`` regions.
+
+        Equivalent to the in-order loop of scalar :meth:`read` calls, but
+        the whole region list's physical runs feed one :meth:`_emit` pass —
+        runs left physically adjacent by the allocator coalesce even when
+        their logical regions are far apart, and the caller submits the
+        list as a single batch (PVFS list I/O).
+        """
+        self._check_live(f)
+        if not regions:
+            raise ReproError("readv of an empty region list")
+        for offset, nbytes in regions:
+            self._check_range(offset, nbytes, "readv")
+        total = 0
+        if self._batched:
+            runs_out: list[tuple[int, int]] = []
+            for offset, nbytes in regions:
+                lb, nb = self._span(offset, nbytes)
+                for slot, dstart, dcount in self._segments(f, lb, nb):
+                    runs_out.extend(f.maps[slot].physical_runs(dstart, dcount))
+                total += nbytes
+            requests = self._emit(runs_out, False)
+        else:
+            requests = []
+            for offset, nbytes in regions:
+                lb, nb = self._span(offset, nbytes)
+                self._map_read_legacy(f, lb, nb, requests)
+                total += nbytes
+        counters = self._counters
+        counters["fs.reads"] += len(regions)
+        counters["fs.bytes_read"] += total
+        counters["fs.listio_reads"] += 1
+        counters["fs.listio_regions"] += len(regions)
+        return requests
+
+    def _map_read_legacy(
+        self, f: RedbudFile, lb: int, nb: int, requests: list[BlockRequest]
+    ) -> None:
+        """Legacy per-extent read mapping; appends onto ``requests``."""
+        for slot, dstart, dcount in self._segments(f, lb, nb):
+            for ext in f.maps[slot].lookup_range(dstart, dcount):
+                if not ext.unwritten:
+                    requests.append(BlockRequest(ext.physical, ext.length, is_write=False))
 
     def fsync(self, f: RedbudFile) -> list[BlockRequest]:
         """Materialize delayed-allocation buffers; returns their writes."""
@@ -352,13 +469,14 @@ class DataPlane:
     ) -> list[tuple[int, int, int]]:
         """Stripe-unit segments of [lb, lb+nb), grouped when batching.
 
-        With ``io_batching`` on, consecutive stripe units landing on the same
-        slot (writes wider than one rotation) are dlocal-contiguous and are
-        merged into one segment, so the allocation policy sees one large
-        request per PAG instead of one per stripe unit — PVFS list I/O's
-        "describe many pieces in one request".
+        Under the batched execution profile, consecutive stripe units
+        landing on the same slot (writes wider than one rotation) are
+        dlocal-contiguous and are merged into one segment, so the
+        allocation policy sees one large request per PAG instead of one per
+        stripe unit — PVFS list I/O's "describe many pieces in one
+        request".
         """
-        if not self.config.io_batching:
+        if not self._batched:
             return list(f.segments(lb, nb))
         sb = f.stripe_blocks
         stripe, off = divmod(lb, sb)

@@ -140,6 +140,25 @@ class RedbudFileSystem:
         requests = self.data.read(f, offset, nbytes)
         return self.data.array.submit_batch(requests) if requests else 0.0
 
+    def writev(
+        self,
+        path: str,
+        regions: list[tuple[int, int]],
+        stream: StreamId = 0,
+    ) -> float:
+        """Scatter-gather write: one list request over ``(offset, nbytes)``
+        regions, submitted as a single batch (see docs/LISTIO.md)."""
+        f = self._file_handle(_norm(path))
+        requests = self.data.writev(f, stream, regions)
+        return self.data.array.submit_batch(requests) if requests else 0.0
+
+    def readv(self, path: str, regions: list[tuple[int, int]]) -> float:
+        """Scatter-gather read: one list request over ``(offset, nbytes)``
+        regions, submitted as a single batch (see docs/LISTIO.md)."""
+        f = self._file_handle(_norm(path))
+        requests = self.data.readv(f, regions)
+        return self.data.array.submit_batch(requests) if requests else 0.0
+
     def fsync(self, path: str) -> float:
         f = self._file_handle(_norm(path))
         requests = self.data.fsync(f)

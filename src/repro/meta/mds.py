@@ -46,7 +46,7 @@ class MetadataServer:
         self.tracer.bind_clock(lambda: self.elapsed_s)
         self.disk = SimulatedDisk(
             config.mds_disk, config.scheduler, self.metrics, name="mds",
-            tracer=self.tracer, vectorized=config.vectorized_disks,
+            tracer=self.tracer, vectorized=config.execution == "batched",
         )
         self.cache = BufferCache(config.cache, self.disk, self.metrics, self.tracer)
         self.mfs = MetadataFS(config.meta, config.mds_disk)
@@ -66,10 +66,11 @@ class MetadataServer:
         self._dirty: set[int] = set()
         self._ops_since_ckpt = 0
         self.ops = 0
-        #: Batched execution strategy (FSConfig.meta_batching): same plans,
-        #: same simulated results, fewer interpreted steps.  Engages per
-        #: call only while tracing is off and no fault injector is armed.
-        self._meta_batching = config.meta_batching
+        #: Batched execution strategy (FSConfig.execution == "batched"):
+        #: same plans, same simulated results, fewer interpreted steps.
+        #: Engages per call only while tracing is off and no fault injector
+        #: is armed.
+        self._meta_batching = config.execution == "batched"
         self._sync_writes = config.meta.sync_writes
         self._ckpt_interval = config.meta.journal_interval_ops
         self._req_overhead_s = config.mds_request_overhead_s

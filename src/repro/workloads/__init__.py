@@ -4,14 +4,17 @@ from repro.workloads.base import (
     FsyncOp,
     MetaOp,
     ReadOp,
+    ReadvOp,
     StreamProgram,
     WriteOp,
+    WritevOp,
     drive,
     run_data_phase,
 )
 from repro.workloads.service import ServiceSpec, ServiceWorkload
 from repro.workloads.traces import TraceRecord, synth_checkpoint_trace
 from repro.workloads.streams import SharedFileMicrobench
+from repro.workloads.listio import StridedAccessBenchmark, TileAccessBenchmark
 from repro.workloads.ior import IORBenchmark
 from repro.workloads.btio import BTIOBenchmark
 from repro.workloads.metarates import MetaratesWorkload
@@ -25,6 +28,8 @@ from repro.workloads.aging import age_metadata_fs
 __all__ = [
     "WriteOp",
     "ReadOp",
+    "WritevOp",
+    "ReadvOp",
     "FsyncOp",
     "MetaOp",
     "StreamProgram",
@@ -35,6 +40,8 @@ __all__ = [
     "TraceRecord",
     "synth_checkpoint_trace",
     "SharedFileMicrobench",
+    "StridedAccessBenchmark",
+    "TileAccessBenchmark",
     "IORBenchmark",
     "BTIOBenchmark",
     "MetaratesWorkload",

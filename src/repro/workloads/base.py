@@ -71,6 +71,35 @@ class FsyncOp:
 
 
 @dataclass(frozen=True, slots=True)
+class WritevOp:
+    """Scatter-gather write of ``(offset, nbytes)`` regions of ``file``.
+
+    One list request: the data plane maps the whole region list through a
+    single coalescing pass and the phase runner accounts it as one
+    operation (PVFS list I/O; see docs/LISTIO.md).
+    """
+
+    file: RedbudFile
+    regions: tuple[tuple[int, int], ...]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(n for _, n in self.regions)
+
+
+@dataclass(frozen=True, slots=True)
+class ReadvOp:
+    """Scatter-gather read of ``(offset, nbytes)`` regions of ``file``."""
+
+    file: RedbudFile
+    regions: tuple[tuple[int, int], ...]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(n for _, n in self.regions)
+
+
+@dataclass(frozen=True, slots=True)
 class MetaOp:
     """One metadata call: a method name on the MDS/filesystem plus args.
 
@@ -85,7 +114,7 @@ class MetaOp:
     args: tuple = ()
 
 
-Op = WriteOp | ReadOp | FsyncOp
+Op = WriteOp | ReadOp | FsyncOp | WritevOp | ReadvOp
 
 #: An event is an operation plus the think-time gap (seconds) since the
 #: stream's previous operation.
@@ -242,6 +271,8 @@ def run_data_phase(
     plane_write = plane.write
     plane_read = plane.read
     plane_fsync = plane.fsync
+    plane_writev = plane.writev
+    plane_readv = plane.readv
     submit = plane.array.submit_batch
     start_key = _request_start
     while iters:
@@ -264,17 +295,23 @@ def run_data_phase(
                 finished = True
                 continue
             kind = type(op)
-            if kind is WriteOp or kind is FsyncOp:
+            if kind is WriteOp or kind is FsyncOp or kind is WritevOp:
                 if kind is WriteOp:
                     requests = plane_write(op.file, stream, op.offset, op.nbytes)
+                    bytes_moved += op.nbytes
+                elif kind is WritevOp:
+                    requests = plane_writev(op.file, stream, list(op.regions))
                     bytes_moved += op.nbytes
                 else:
                     requests = plane_fsync(op.file)
                 dirty.extend(requests)
                 for r in requests:
                     dirty_blocks += r.nblocks
-            elif kind is ReadOp:
-                requests = plane_read(op.file, op.offset, op.nbytes)
+            elif kind is ReadOp or kind is ReadvOp:
+                if kind is ReadOp:
+                    requests = plane_read(op.file, op.offset, op.nbytes)
+                else:
+                    requests = plane_readv(op.file, list(op.regions))
                 bytes_moved += op.nbytes
                 pending = pending_reads.setdefault(stream, [])
                 pending.extend(requests)

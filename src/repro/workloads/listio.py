@@ -1,0 +1,224 @@
+"""MPI-IO-style noncontiguous access patterns for list-I/O experiments.
+
+"Noncontiguous I/O through PVFS" shows that shipping one list-of-regions
+request instead of N contiguous operations is worth an order of magnitude
+for strided scientific access; the ROMIO two-phase collective-I/O
+literature motivates the two patterns modelled here:
+
+- **block-cyclic / strided** (:class:`StridedAccessBenchmark`) — N
+  processes share one file of fixed-size records; process ``p`` owns
+  records ``p, p+N, p+2N, ...`` (a dense matrix distributed by rows, or a
+  record-striped checkpoint).  Every process's accesses are strided by
+  ``N * record_bytes``.
+- **tile access** (:class:`TileAccessBenchmark`) — a 2D array stored in
+  row-major order, decomposed into tiles with one process per tile; a tile
+  touch is ``tile_rows`` regions of ``tile_w_bytes``, strided by the full
+  row length (visualization / stencil halo reads).
+
+Each benchmark runs in one of two modes over the *same* access pattern:
+
+- ``"scalar"`` — one :class:`~repro.workloads.base.WriteOp` /
+  :class:`~repro.workloads.base.ReadOp` per region: the naive loop of
+  contiguous operations;
+- ``"listio"`` — the regions grouped into
+  :class:`~repro.workloads.base.WritevOp` /
+  :class:`~repro.workloads.base.ReadvOp` list requests: one mapping pass,
+  one submitted batch per list.
+
+Both modes run the closed-loop phase runner with single-block read/write
+buffering: strided access defeats sequential readahead and the writes are
+synchronous, so each scalar operation is its own submission — exactly the
+regime where the request path, not the platter, is the bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.fs.dataplane import DataPlane
+from repro.fs.file import RedbudFile
+from repro.fs.stream import make_stream_id
+from repro.sim.metrics import ThroughputResult
+from repro.units import KiB
+from repro.workloads.base import (
+    ReadOp,
+    ReadvOp,
+    StreamProgram,
+    WriteOp,
+    WritevOp,
+    run_data_phase,
+)
+
+#: Access modes understood by both benchmarks.
+MODES = ("scalar", "listio")
+
+
+def _check_mode(mode: str) -> None:
+    if mode not in MODES:
+        raise ConfigError(f"unknown list-I/O mode: {mode!r}")
+
+
+def _run_sync_phase(
+    plane: DataPlane, programs: list[StreamProgram], seed: int
+) -> ThroughputResult:
+    """Closed-loop phase with per-operation submission (no buffering)."""
+    return run_data_phase(
+        plane,
+        programs,
+        read_buffer_blocks=1,
+        write_buffer_blocks=1,
+        skip_probability=0.0,
+        seed=seed,
+    )
+
+
+@dataclass(frozen=True)
+class StridedAccessBenchmark:
+    """Block-cyclic record access over one shared file."""
+
+    nstreams: int = 8
+    #: Records per stream (file size = nstreams * records_per_stream * record_bytes).
+    records_per_stream: int = 256
+    record_bytes: int = 16 * KiB
+    #: Regions carried by one list request in ``"listio"`` mode.
+    list_len: int = 32
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nstreams <= 0 or self.records_per_stream <= 0:
+            raise ConfigError("nstreams and records_per_stream must be positive")
+        if self.record_bytes <= 0:
+            raise ConfigError("record_bytes must be positive")
+        if self.list_len <= 0:
+            raise ConfigError("list_len must be positive")
+
+    @property
+    def file_bytes(self) -> int:
+        return self.nstreams * self.records_per_stream * self.record_bytes
+
+    @property
+    def region_bytes(self) -> int:
+        """Layout-inspector region: one stream's share of the file."""
+        return self.records_per_stream * self.record_bytes
+
+    def create_file(self, plane: DataPlane, name: str = "/strided.dat") -> RedbudFile:
+        return plane.create_file(name, expected_bytes=self.file_bytes)
+
+    def _regions(self, stream_index: int) -> list[tuple[int, int]]:
+        """Stream ``stream_index``'s regions in ascending offset order."""
+        stride = self.nstreams * self.record_bytes
+        base = stream_index * self.record_bytes
+        return [
+            (base + r * stride, self.record_bytes)
+            for r in range(self.records_per_stream)
+        ]
+
+    def _programs(self, f: RedbudFile, mode: str, write: bool) -> list[StreamProgram]:
+        _check_mode(mode)
+
+        def make_events(regions):
+            def events():
+                if mode == "scalar":
+                    for offset, nbytes in regions:
+                        yield WriteOp(f, offset, nbytes) if write else ReadOp(
+                            f, offset, nbytes
+                        )
+                else:
+                    for i in range(0, len(regions), self.list_len):
+                        chunk = tuple(regions[i : i + self.list_len])
+                        yield WritevOp(f, chunk) if write else ReadvOp(f, chunk)
+
+            return events
+
+        return [
+            StreamProgram(
+                stream=make_stream_id(p, 0), ops=make_events(self._regions(p))
+            )
+            for p in range(self.nstreams)
+        ]
+
+    def phase_write(self, plane: DataPlane, f: RedbudFile, mode: str) -> ThroughputResult:
+        """All processes write their block-cyclic records."""
+        return _run_sync_phase(plane, self._programs(f, mode, write=True), self.seed)
+
+    def phase_read(self, plane: DataPlane, f: RedbudFile, mode: str) -> ThroughputResult:
+        """All processes read their block-cyclic records back."""
+        return _run_sync_phase(plane, self._programs(f, mode, write=False), self.seed)
+
+
+@dataclass(frozen=True)
+class TileAccessBenchmark:
+    """Tile decomposition of a row-major 2D array, one process per tile."""
+
+    tiles_x: int = 4
+    tiles_y: int = 2
+    tile_w_bytes: int = 64 * KiB
+    tile_rows: int = 16
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tiles_x <= 0 or self.tiles_y <= 0:
+            raise ConfigError("tile grid dimensions must be positive")
+        if self.tile_w_bytes <= 0 or self.tile_rows <= 0:
+            raise ConfigError("tile geometry must be positive")
+
+    @property
+    def row_bytes(self) -> int:
+        return self.tiles_x * self.tile_w_bytes
+
+    @property
+    def file_bytes(self) -> int:
+        return self.row_bytes * self.tile_rows * self.tiles_y
+
+    @property
+    def nstreams(self) -> int:
+        return self.tiles_x * self.tiles_y
+
+    @property
+    def region_bytes(self) -> int:
+        """Layout-inspector region: one tile's bytes."""
+        return self.tile_w_bytes * self.tile_rows
+
+    def create_file(self, plane: DataPlane, name: str = "/tiles.dat") -> RedbudFile:
+        return plane.create_file(name, expected_bytes=self.file_bytes)
+
+    def _regions(self, tile: int) -> list[tuple[int, int]]:
+        """Tile ``tile``'s regions (one per row) in ascending offset order."""
+        ty, tx = divmod(tile, self.tiles_x)
+        first_row = ty * self.tile_rows
+        return [
+            ((first_row + r) * self.row_bytes + tx * self.tile_w_bytes, self.tile_w_bytes)
+            for r in range(self.tile_rows)
+        ]
+
+    def _programs(self, f: RedbudFile, mode: str, write: bool) -> list[StreamProgram]:
+        _check_mode(mode)
+
+        def make_events(regions):
+            def events():
+                if mode == "scalar":
+                    for offset, nbytes in regions:
+                        yield WriteOp(f, offset, nbytes) if write else ReadOp(
+                            f, offset, nbytes
+                        )
+                else:
+                    chunk = tuple(regions)  # one list request per tile touch
+                    yield WritevOp(f, chunk) if write else ReadvOp(f, chunk)
+
+            return events
+
+        return [
+            StreamProgram(
+                stream=make_stream_id(t, 0), ops=make_events(self._regions(t))
+            )
+            for t in range(self.nstreams)
+        ]
+
+    def phase_write(self, plane: DataPlane, f: RedbudFile, mode: str) -> ThroughputResult:
+        """Every process writes its tile."""
+        return _run_sync_phase(plane, self._programs(f, mode, write=True), self.seed)
+
+    def phase_read(self, plane: DataPlane, f: RedbudFile, mode: str) -> ThroughputResult:
+        """Every process reads its tile back."""
+        return _run_sync_phase(plane, self._programs(f, mode, write=False), self.seed)
