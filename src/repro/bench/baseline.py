@@ -37,7 +37,7 @@ BENCH_SCHEMA_VERSION = 1
 #: Pinned configuration for committed baselines (small enough for CI smoke).
 PINNED_SCALE = 0.05
 PINNED_SEED = 0
-PINNED_RUNNERS = ("fig6a", "fig6b", "fig7", "table1", "fig8", "fig_listio")
+PINNED_RUNNERS = ("fig6a", "fig6b", "fig7", "table1", "fig8", "fig_listio", "fig_cache")
 
 
 def baseline_filename(name: str) -> str:

@@ -244,7 +244,139 @@ def measure_meta(
     )
 
 
-def save_report(report: PerfReport | MetaPerfReport, path: str) -> None:
+#: The runner timed by the cache mode; fig_cache's pressure sweep compares
+#: the legacy flat LRU against the adaptive tiered cache (docs/CACHE.md).
+CACHE_PERF_RUNNER = "fig_cache"
+
+#: Acceptance thresholds for the cache-pressure comparison: the adaptive
+#: profile must win on wall clock (host seconds, >= 1.3x) or on hit rate
+#: (>= 20 percentage points).
+CACHE_MIN_SPEEDUP = 1.3
+CACHE_MIN_HIT_GAIN_POINTS = 20.0
+
+
+@dataclass(frozen=True)
+class CachePerfReport:
+    """Scalar-vs-tiered cache comparison on the cache-pressure sweep.
+
+    Unlike :class:`PerfReport`, the two runs here are *different
+    simulations* (the cache profile changes the result), so there is no
+    byte-identity verdict; instead the report carries the simulated-time
+    speedup and hit-rate delta per scenario and an aggregate ``passed``
+    verdict against the acceptance thresholds.
+    """
+
+    runner: str
+    scale: float
+    seed: int
+    jobs: int
+    #: Host wall-clock of the legacy-profile / adaptive-profile sweeps.
+    legacy_wall_s: float
+    adaptive_wall_s: float
+    #: Per-scenario simulated seconds and hit rates (scenario -> value).
+    legacy_elapsed_s: dict[str, float]
+    adaptive_elapsed_s: dict[str, float]
+    legacy_hit_rate: dict[str, float]
+    adaptive_hit_rate: dict[str, float]
+    prefetch_accuracy: dict[str, float]
+    fingerprint: str
+
+    @property
+    def wall_speedup(self) -> float:
+        """legacy / adaptive host wall-clock ratio for the sweep."""
+        return self.legacy_wall_s / self.adaptive_wall_s if self.adaptive_wall_s > 0 else 0.0
+
+    def sim_speedup(self, scenario: str) -> float:
+        """legacy / adaptive simulated-time ratio for one scenario."""
+        adaptive = self.adaptive_elapsed_s[scenario]
+        legacy = self.legacy_elapsed_s[scenario]
+        return legacy / adaptive if adaptive > 0 else float("inf")
+
+    def hit_rate_gain(self, scenario: str) -> float:
+        """adaptive - legacy hit rate, in percentage points."""
+        return 100.0 * (
+            self.adaptive_hit_rate[scenario] - self.legacy_hit_rate[scenario]
+        )
+
+    @property
+    def passed(self) -> bool:
+        """Every scenario clears at least one acceptance threshold."""
+        return all(
+            self.sim_speedup(s) >= CACHE_MIN_SPEEDUP
+            or self.hit_rate_gain(s) >= CACHE_MIN_HIT_GAIN_POINTS
+            for s in self.legacy_elapsed_s
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        scenarios = sorted(self.legacy_elapsed_s)
+        return {
+            "runner": self.runner,
+            "scale": self.scale,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "legacy_wall_s": self.legacy_wall_s,
+            "adaptive_wall_s": self.adaptive_wall_s,
+            "wall_speedup": self.wall_speedup,
+            "legacy_elapsed_s": dict(sorted(self.legacy_elapsed_s.items())),
+            "adaptive_elapsed_s": dict(sorted(self.adaptive_elapsed_s.items())),
+            "legacy_hit_rate": dict(sorted(self.legacy_hit_rate.items())),
+            "adaptive_hit_rate": dict(sorted(self.adaptive_hit_rate.items())),
+            "prefetch_accuracy": dict(sorted(self.prefetch_accuracy.items())),
+            "sim_speedup": {s: self.sim_speedup(s) for s in scenarios},
+            "hit_rate_gain_points": {s: self.hit_rate_gain(s) for s in scenarios},
+            "passed": self.passed,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def measure_cache(
+    *, scale: float = 1.0, seed: int = 0, jobs: int | None = None
+) -> CachePerfReport:
+    """Time the fig_cache sweep once per cache profile and compare.
+
+    The report's ``passed`` flag carries the acceptance verdict (CI's
+    perf-smoke cache step turns it into an exit code).
+    """
+    n = resolve_jobs(jobs)
+    t0 = time.perf_counter()
+    legacy = run(
+        CACHE_PERF_RUNNER, scale=scale, seed=seed, jobs=n, profiles=("legacy",)
+    )
+    legacy_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    adaptive = run(
+        CACHE_PERF_RUNNER, scale=scale, seed=seed, jobs=n, profiles=("adaptive",)
+    )
+    adaptive_wall = time.perf_counter() - t0
+    scenarios = sorted({r.scenario for r in legacy.payload.runs})
+    return CachePerfReport(
+        runner=CACHE_PERF_RUNNER,
+        scale=scale,
+        seed=seed,
+        jobs=n,
+        legacy_wall_s=legacy_wall,
+        adaptive_wall_s=adaptive_wall,
+        legacy_elapsed_s={
+            s: legacy.payload.get(s, "legacy").elapsed_s for s in scenarios
+        },
+        adaptive_elapsed_s={
+            s: adaptive.payload.get(s, "adaptive").elapsed_s for s in scenarios
+        },
+        legacy_hit_rate={
+            s: legacy.payload.get(s, "legacy").hit_rate for s in scenarios
+        },
+        adaptive_hit_rate={
+            s: adaptive.payload.get(s, "adaptive").hit_rate for s in scenarios
+        },
+        prefetch_accuracy={
+            s: adaptive.payload.get(s, "adaptive").prefetch_accuracy
+            for s in scenarios
+        },
+        fingerprint=adaptive.fingerprint,
+    )
+
+
+def save_report(report: PerfReport | MetaPerfReport | CachePerfReport, path: str) -> None:
     """Write the report as sorted-key JSON (CI timing artifact)."""
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(report.to_dict(), fh, sort_keys=True, indent=2)

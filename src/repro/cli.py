@@ -286,6 +286,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure the metadata path instead: the fig8 metarates sweep "
         "plus an mdtest tree run, scalar vs batched execution",
     )
+    p.add_argument(
+        "--cache", action="store_true",
+        help="measure the cache-pressure sweep instead: legacy LRU vs the "
+        "adaptive tiered cache profile, wall clock + hit-rate delta "
+        "(exit 1 unless a scenario clears the acceptance thresholds)",
+    )
     p.add_argument("--out", default=None, metavar="PATH",
                    help="also write the timing report as JSON to PATH")
     p.set_defaults(func=cmd_perf)
@@ -635,8 +641,38 @@ def cmd_trace(args) -> int:
 
 
 def cmd_perf(args) -> int:
-    from repro.bench.perf import measure, measure_meta, save_report
+    from repro.bench.perf import measure, measure_cache, measure_meta, save_report
 
+    if args.cache:
+        report = measure_cache(scale=args.scale, seed=args.seed, jobs=args.jobs)
+        table = Table(
+            f"Cache profiles — {report.runner} sweep "
+            f"(scale={report.scale}, jobs={report.jobs})",
+            ["scenario", "legacy sim (s)", "adaptive sim (s)", "sim speedup",
+             "hit rate Δ (pts)", "prefetch acc"],
+        )
+        for s in sorted(report.legacy_elapsed_s):
+            table.add_row([
+                s,
+                f"{report.legacy_elapsed_s[s]:.4f}",
+                f"{report.adaptive_elapsed_s[s]:.4f}",
+                f"{report.sim_speedup(s):.2f}x",
+                f"{report.hit_rate_gain(s):+.1f}",
+                f"{report.prefetch_accuracy[s]:.2f}",
+            ])
+        table.print()
+        print()
+        print(f"wall clock: legacy {report.legacy_wall_s:.2f}s, adaptive "
+              f"{report.adaptive_wall_s:.2f}s ({report.wall_speedup:.2f}x)")
+        if report.passed:
+            print("PASS: adaptive profile clears the acceptance thresholds "
+                  "(>=1.3x sim speedup or >=20-point hit-rate gain per scenario)")
+        else:
+            print("FAIL: adaptive profile below the acceptance thresholds")
+        if args.out:
+            save_report(report, args.out)
+            print(f"wrote timing report to {args.out}")
+        return 0 if report.passed else 1
     if args.meta:
         report = measure_meta(scale=args.scale, seed=args.seed, jobs=args.jobs)
     else:
@@ -946,6 +982,47 @@ def print_fig_listio(run_result, args) -> int:
     return 0
 
 
+def print_fig_cache(run_result, args) -> int:
+    result = run_result.payload
+    table = Table(
+        "Cache pressure — legacy LRU vs adaptive tiered cache",
+        ["scenario", "profile", "sim (s)", "hit rate", "t1/t2 hits",
+         "prefetch acc", "disk reqs"],
+    )
+    scenarios = sorted({r.scenario for r in result.runs})
+    for scenario in scenarios:
+        for profile in ("legacy", "adaptive"):
+            try:
+                r = result.get(scenario, profile)
+            except KeyError:
+                continue
+            table.add_row([
+                r.scenario,
+                r.profile,
+                f"{r.elapsed_s:.4f}",
+                f"{100.0 * r.hit_rate:.1f}%",
+                f"{r.t1_hits}/{r.t2_hits}",
+                f"{r.prefetch_accuracy:.2f}",
+                r.disk_requests,
+            ])
+    table.print()
+    gains = Table(
+        "Adaptive-profile gains (docs/CACHE.md)",
+        ["scenario", "sim speedup", "hit rate Δ (pts)"],
+    )
+    for scenario in scenarios:
+        try:
+            gains.add_row([
+                scenario,
+                f"{result.speedup(scenario):.2f}x",
+                f"{result.hit_rate_gain(scenario):+.1f}",
+            ])
+        except KeyError:
+            continue
+    gains.print()
+    return 0
+
+
 #: Every runner-backed subcommand, declaratively.  ``build_parser`` wires
 #: these in a loop; ``--jobs`` / ``--exec`` attach themselves by inspecting
 #: the registered runner's signature.
@@ -974,6 +1051,13 @@ RUNNER_COMMANDS: tuple[RunnerCommand, ...] = (
         "list I/O: strided/tile access, scalar loop vs readv/writev "
         "(docs/LISTIO.md)",
         print_fig_listio,
+    ),
+    RunnerCommand(
+        "fig_cache",
+        "cache pressure: legacy LRU vs the adaptive tiered cache "
+        "(per-stream readahead, SLRU tiers, directory prefetch; "
+        "docs/CACHE.md)",
+        print_fig_cache,
     ),
     RunnerCommand(
         "faults",
@@ -1016,6 +1100,11 @@ RUNNER_COMMANDS: tuple[RunnerCommand, ...] = (
                 default=None, metavar="1/N",
                 help="trace every Nth stream end-to-end (sampled tracing "
                 "keeps the vectorized fast path engaged)")),
+            CliOption(("--cache-profile",), "cache_profile", dict(
+                choices=["legacy", "adaptive"], default="legacy",
+                help="MDS buffer-cache profile: legacy flat LRU or the "
+                "adaptive tiered cache (docs/CACHE.md); per-tier hit/miss "
+                "and prefetch-accuracy series appear under --telemetry")),
             CliOption(("--telemetry-out",), None, dict(
                 default=None, metavar="PATH", dest="telemetry_out",
                 help="write the per-window telemetry as CSV to PATH "

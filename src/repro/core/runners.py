@@ -43,7 +43,13 @@ from repro.sim.clock import SimClock
 from repro.sim.events import EventLoop, Station
 from repro.sim.metrics import Metrics, MetricsSnapshot, ThroughputResult
 from repro.units import KiB, MiB
+from repro.disk.cache import BufferCache
+from repro.disk.disk import SimulatedDisk
 from repro.workloads.aging import age_metadata_fs
+from repro.workloads.cachepressure import (
+    CachePressureWorkload,
+    InterleavedStreamWorkload,
+)
 from repro.workloads.apps import AppResult, KernelTree, MakeApp, MakeCleanApp, TarApp
 from repro.workloads.btio import BTIOBenchmark
 from repro.workloads.filesizes import kernel_tree_sizes
@@ -1195,6 +1201,7 @@ def _service_cell(spec, tracer=None) -> CellResult:
         loop.probe = telem.loop_probe
         for st in stations.values():
             st.probe = telem.station_probe(st.name)
+        telem.track_cache(mds.metrics)
     sampler = tracer if isinstance(tracer, SamplingTracer) else None
     moved = {"bytes": 0}
     drops = {"data": {"write": 0, "read": 0}, "meta": {"meta": 0}}
@@ -1236,6 +1243,8 @@ def _service_cell(spec, tracer=None) -> CellResult:
     loop.run(until=svc.duration_s)
     for st in stations.values():
         st.drain()
+    if telem is not None:
+        telem.finish(svc.duration_s)
 
     label = f"service:r{svc.rate:g}"
     cell.phase(
@@ -1323,6 +1332,7 @@ def service_mode(
     telemetry: bool | float = False,
     slo: bool | str | SLObjective | tuple[str | SLObjective, ...] | None = None,
     sample: int | str | None = None,
+    cache_profile: str = "legacy",
 ) -> RunResult:
     """Open-loop service mode: latency under a fixed offered load.
 
@@ -1349,11 +1359,24 @@ def service_mode(
       N-th stream end-to-end via a :class:`~repro.obs.trace.
       SamplingTracer` without disengaging the vectorized fast paths.
       Ignored when an explicit ``trace=`` tracer is passed.
+
+    ``cache_profile`` selects the MDS buffer-cache profile ("legacy" or
+    "adaptive", docs/CACHE.md).  Unlike the observability knobs it *does*
+    change simulated results, so a non-default profile enters the
+    fingerprint through the config name; the default is
+    fingerprint-identical to previous releases.  Under ``telemetry`` the
+    cache counters (per-tier hits, misses, prefetch issued/used) are
+    rolled into per-window series with a derived
+    ``cache.prefetch_accuracy``.
     """
     execution = _resolve_execution(execution, legacy_io)
     rate_points = tuple(resolve_rate(r) for r in (rates if rates is not None else (rate,)))
     duration_s = resolve_duration(duration) * scale
     cfg = config if config is not None else redbud_mif_profile()
+    if cache_profile != "legacy":
+        # Fold the cache profile into the config (and thus, via its name,
+        # into the fingerprint): the default stays fingerprint-identical.
+        cfg = cfg.with_cache_profile(cache_profile)
     objectives = resolve_objectives(slo)
     telemetry_window = _resolve_telemetry_window(
         telemetry, objectives is not None, duration_s
@@ -1521,6 +1544,163 @@ def listio_benchmarks(
         for mode in modes
     ]
     for cell in run_cells(specs, _fig_listio_cell, jobs=jobs, tracer=run.tracer):
+        run.absorb(cell)
+        payload.runs.append(cell.payload)
+    return run.result(payload)
+
+
+# ---------------------------------------------------------------------------
+# fig_cache: cache-pressure sweep — legacy LRU vs the adaptive tiered cache
+# ---------------------------------------------------------------------------
+
+#: Cache capacity (blocks) for the pressure scenario: small enough that
+#: the scan burst (3 cold dirs x ~100 content blocks) overflows it while
+#: the hot set (~150 blocks) fits the protected tier — the regime where
+#: scan resistance, not raw capacity, decides the hit rate.
+CACHE_PRESSURE_CAPACITY = 256
+
+
+@dataclass
+class CacheRun:
+    """One (scenario, profile) cell of the cache-pressure sweep."""
+
+    scenario: str
+    profile: str
+    elapsed_s: float
+    ops: int
+    hits: int
+    misses: int
+    t1_hits: int
+    t2_hits: int
+    prefetch_issued: int
+    prefetch_used: int
+    disk_requests: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        return self.prefetch_used / self.prefetch_issued if self.prefetch_issued else 0.0
+
+
+@dataclass
+class FigCacheResult:
+    """Legacy vs adaptive cache profile per scenario (docs/CACHE.md)."""
+
+    runs: list[CacheRun] = field(default_factory=list)
+
+    def get(self, scenario: str, profile: str) -> CacheRun:
+        for r in self.runs:
+            if r.scenario == scenario and r.profile == profile:
+                return r
+        raise KeyError((scenario, profile))
+
+    def speedup(self, scenario: str) -> float:
+        """Simulated-time gain of the adaptive profile (legacy / adaptive)."""
+        legacy = self.get(scenario, "legacy").elapsed_s
+        adaptive = self.get(scenario, "adaptive").elapsed_s
+        return legacy / adaptive if adaptive > 0 else float("inf")
+
+    def hit_rate_gain(self, scenario: str) -> float:
+        """Hit-rate improvement in percentage points (adaptive - legacy)."""
+        return 100.0 * (
+            self.get(scenario, "adaptive").hit_rate
+            - self.get(scenario, "legacy").hit_rate
+        )
+
+
+def _cache_run(cell: _Cell, scenario: str, profile: str, snap, result) -> CacheRun:
+    delta = cell.metrics.since(snap)
+    return CacheRun(
+        scenario=scenario,
+        profile=profile,
+        elapsed_s=result.elapsed,
+        ops=result.ops,
+        hits=delta.count("cache.hits"),
+        misses=delta.count("cache.misses"),
+        t1_hits=delta.count("cache.t1_hits"),
+        t2_hits=delta.count("cache.t2_hits"),
+        prefetch_issued=delta.count("cache.prefetch_issued_blocks"),
+        prefetch_used=delta.count("cache.prefetch_used_blocks"),
+        disk_requests=delta.count("disk.requests"),
+    )
+
+
+def _fig_cache_cell(spec, tracer=None) -> CellResult:
+    """One (scenario, profile) cell.
+
+    ``pressure`` drives the MDS end to end (hot stats vs cold directory
+    scans under a deliberately small cache); ``streams`` drives the
+    BufferCache directly with interleaved sequential readers, isolating
+    readahead-context behaviour from the metadata path.
+    """
+    scale, seed, scenario, profile, execution = spec
+    cell = _Cell(tracer)
+    if scenario == "pressure":
+        cfg = redbud_mif_profile().with_cache_profile(
+            profile, capacity_blocks=CACHE_PRESSURE_CAPACITY
+        )
+        cfg = replace(cfg, execution=execution)
+        wl = CachePressureWorkload(rounds=_scaled(10, scale, floor=2))
+        mds = cell.mds(cfg)
+        hot, cold = wl.setup(mds)
+        mds.drop_caches()
+        snap = cell.metrics.snapshot()
+        result = cell.phase(f"pressure:{profile}", wl.run(mds, hot, cold))
+        return cell.result(_cache_run(cell, scenario, profile, snap, result))
+    if scenario == "streams":
+        cfg = redbud_mif_profile().with_cache_profile(profile)
+        disk = SimulatedDisk(
+            cfg.mds_disk, cfg.scheduler, cell.metrics, name="mds",
+            tracer=cell.tracer, vectorized=execution == "batched",
+        )
+        cache = BufferCache(cfg.cache, disk, cell.metrics, cell.tracer)
+        cell.tracer.bind_clock(lambda: disk.busy_s, override=True)
+        wl = InterleavedStreamWorkload(
+            blocks_per_stream=_scaled(256, scale, floor=64)
+        )
+        snap = cell.metrics.snapshot()
+        result = cell.phase(f"streams:{profile}", wl.run(cache))
+        return cell.result(_cache_run(cell, scenario, profile, snap, result))
+    raise ConfigError(f"unknown cache scenario: {scenario!r}")
+
+
+@register("fig_cache")
+def cache_pressure_suite(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    trace: Tracer | NullTracer | bool | None = None,
+    profiles: tuple[str, ...] = ("legacy", "adaptive"),
+    scenarios: tuple[str, ...] = ("pressure", "streams"),
+    jobs: int | None = None,
+    execution: str = "batched",
+    legacy_io: bool | None = None,
+) -> RunResult:
+    """Cache-pressure sweep: the adaptive tiered cache (per-stream
+    readahead + SLRU tiers + embedded-directory prefetch, docs/CACHE.md)
+    against the legacy flat LRU, on a scan-pressure metadata mix and an
+    interleaved-sequential-streams microbenchmark.
+
+    ``execution`` and ``jobs`` change only execution strategy, never the
+    result, so neither participates in the fingerprint.  ``legacy_io`` is
+    a deprecated alias for ``execution="legacy"``.
+    """
+    execution = _resolve_execution(execution, legacy_io)
+    run = _Run(
+        "fig_cache", trace, scale=scale, seed=seed,
+        profiles=tuple(profiles), scenarios=tuple(scenarios),
+    )
+    payload = FigCacheResult()
+    specs = [
+        (scale, seed, scenario, profile, execution)
+        for scenario in scenarios
+        for profile in profiles
+    ]
+    for cell in run_cells(specs, _fig_cache_cell, jobs=jobs, tracer=run.tracer):
         run.absorb(cell)
         payload.runs.append(cell.payload)
     return run.result(payload)

@@ -242,6 +242,18 @@ class EmbeddedLayout(DirectoryLayout):
         """readdirplus: one sequential sweep over the directory content
         (inodes included), plus any spilled mapping blocks — "all disk
         accesses can be combined in the same disk request" (§IV.A)."""
+        reads = self.prefetch_region(parent)
+        inodes = [self._inodes[ino] for ino in parent.entries.values()]
+        plan = AccessPlan(reads=reads, cpu_s=self._lookup_cpu(0), journal_records=0)
+        return (inodes, plan)
+
+    def prefetch_region(self, parent: EmbeddedDir) -> list[tuple[int, int]]:
+        """The directory's whole contiguous inode+extent region as block
+        runs: the used content runs plus any spilled mapping blocks.  This
+        is the run MiF's embedding guarantees exists (§IV.A) — the MDS
+        hands it to :meth:`BufferCache.prefetch_runs` on readdir so the
+        adaptive cache pulls the region in one batched request instead of
+        the doubling window discovering it block by block (docs/CACHE.md)."""
         reads = self._content_reads(parent)
         spills = sorted(
             blk
@@ -249,9 +261,7 @@ class EmbeddedLayout(DirectoryLayout):
             for blk in self._inodes[ino].spill_blocks
         )
         reads += [(b, 1) for b in spills]
-        inodes = [self._inodes[ino] for ino in parent.entries.values()]
-        plan = AccessPlan(reads=reads, cpu_s=self._lookup_cpu(0), journal_records=0)
-        return (inodes, plan)
+        return reads
 
     def getlayout(self, parent: EmbeddedDir, name: str) -> tuple[Inode, AccessPlan]:
         plan = self._lookup_plan(parent, name, expect=True)

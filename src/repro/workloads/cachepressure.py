@@ -1,0 +1,134 @@
+"""Cache-pressure scenarios for the tiered BufferCache (docs/CACHE.md).
+
+Two stressors, each targeting one leg of the adaptive cache profile:
+
+- :class:`CachePressureWorkload` — a hot metadata working set (many small
+  directories stat'd every round) interleaved with cold directory scans
+  big enough to wash a flat LRU.  Scan resistance (the SLRU protected
+  tier) keeps the hot set cached; the embedded-directory prefetch turns
+  each scan into one batched region fetch.  This is the service-mode
+  pattern "Fragmentation in Large Object Repositories" (PAPERS.md) shows
+  dominating observed fragmentation cost.
+- :class:`InterleavedStreamWorkload` — many concurrent sequential readers
+  advancing round-robin, the massive-stream-parallelism pressure from the
+  GPU readahead-prefetcher paper (PAPERS.md).  A fixed 4-slot readahead
+  table thrashes (every read misses its evicted context); per-stream
+  adaptive contexts ramp every stream's window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.disk.cache import BufferCache
+from repro.errors import ConfigError
+from repro.meta.mds import MetadataServer
+from repro.sim.metrics import ThroughputResult
+from repro.workloads.base import MetaOp, drive, mds_executor
+
+
+@dataclass(frozen=True)
+class CachePressureWorkload:
+    """Hot point-lookups against cold directory scans.
+
+    ``hot_dirs`` single-file directories form the hot set (one content
+    block each under the embedded layout); ``cold_dirs`` directories of
+    ``cold_files_per_dir`` files each are scanned ``scan_burst`` at a time
+    between hot sweeps.  Size the burst past the cache capacity minus the
+    hot set, or a plain LRU is accidentally scan-resistant.
+
+    The hot sweep stats every hot file **twice** back to back: the second
+    pass is what earns SLRU promotion into the protected tier before the
+    scan hits, mirroring a service-mode working set that is re-referenced
+    faster than scans recur.
+    """
+
+    hot_dirs: int = 150
+    cold_dirs: int = 4
+    cold_files_per_dir: int = 1600
+    scan_burst: int = 3
+    rounds: int = 6
+
+    def __post_init__(self) -> None:
+        if min(self.hot_dirs, self.cold_dirs, self.cold_files_per_dir) <= 0:
+            raise ConfigError("hot_dirs, cold_dirs, cold_files_per_dir must be positive")
+        if not (0 < self.scan_burst <= self.cold_dirs):
+            raise ConfigError(
+                f"scan_burst must be in [1, cold_dirs]: {self.scan_burst}"
+            )
+        if self.rounds <= 0:
+            raise ConfigError(f"rounds must be positive: {self.rounds}")
+
+    def setup(self, mds: MetadataServer) -> tuple[list, list]:
+        """Populate the namespace; returns (hot_dirs, cold_dirs)."""
+        hot = []
+        for i in range(self.hot_dirs):
+            d = mds.mkdir(mds.root, f"hot{i:04d}")
+            mds.create(d, "payload")
+            hot.append(d)
+        cold = []
+        for i in range(self.cold_dirs):
+            d = mds.mkdir(mds.root, f"cold{i:02d}")
+            for j in range(self.cold_files_per_dir):
+                mds.create(d, f"f{j:06d}")
+            cold.append(d)
+        return (hot, cold)
+
+    def pressure_program(self, hot: list, cold: list):
+        """Interleaved rounds: double hot sweep, then a cold scan burst.
+
+        Yields ``(arrival_dt, MetaOp)`` events; returns the op count.
+        """
+        count = 0
+        scan_cursor = 0
+        for _ in range(self.rounds):
+            for _pass in range(2):
+                for d in hot:
+                    yield (0.0, MetaOp("stat", (d, "payload")))
+                    count += 1
+            for _ in range(self.scan_burst):
+                d = cold[scan_cursor % len(cold)]
+                scan_cursor += 1
+                inodes = yield (0.0, MetaOp("readdir_stat", (d,)))
+                count += 1 + len(inodes)
+        return count
+
+    def run(self, mds: MetadataServer, hot: list, cold: list) -> ThroughputResult:
+        start = mds.elapsed_s
+        ops = drive(self.pressure_program(hot, cold), mds_executor(mds))
+        mds.flush()
+        return ThroughputResult(
+            bytes_moved=0, elapsed=mds.elapsed_s - start, ops=ops
+        )
+
+
+@dataclass(frozen=True)
+class InterleavedStreamWorkload:
+    """Round-robin sequential readers straight against a BufferCache.
+
+    ``streams`` readers, each walking ``blocks_per_stream`` blocks one
+    block at a time from stride-separated start offsets; every arrival
+    belongs to a different stream than the one before, so any readahead
+    state shared across fewer than ``streams`` contexts thrashes.
+    """
+
+    streams: int = 16
+    blocks_per_stream: int = 256
+    stride_blocks: int = 4096
+
+    def __post_init__(self) -> None:
+        if min(self.streams, self.blocks_per_stream) <= 0:
+            raise ConfigError("streams and blocks_per_stream must be positive")
+        if self.stride_blocks < self.blocks_per_stream:
+            raise ConfigError("stride_blocks must cover blocks_per_stream")
+
+    def run(self, cache: BufferCache) -> ThroughputResult:
+        """Drive the interleaved streams; elapsed is billed cache time."""
+        elapsed = 0.0
+        ops = 0
+        read = cache.read
+        for i in range(self.blocks_per_stream):
+            for s in range(self.streams):
+                elapsed += read(s * self.stride_blocks + i, 1)
+                ops += 1
+        return ThroughputResult(bytes_moved=0, elapsed=elapsed, ops=ops)

@@ -286,13 +286,85 @@ class ServiceTelemetry:
     (per-window goodput), the latter two attributed to the window the
     operation *completes* in.  A loop-level ``arrivals`` counter tracks
     total offered load.
+
+    :meth:`track_cache` additionally polls the MDS buffer-cache counters
+    (:data:`CACHE_SERIES`, docs/CACHE.md) into per-window deltas plus a
+    derived ``cache.prefetch_accuracy`` sum — flushed only when the loop
+    probe crosses a window boundary, so the per-arrival cost stays one
+    integer compare.
     """
+
+    #: Buffer-cache counters rolled into per-window series by
+    #: :meth:`track_cache` (per-tier hits, misses, prefetch accounting).
+    CACHE_SERIES = (
+        "cache.hits",
+        "cache.misses",
+        "cache.t1_hits",
+        "cache.t2_hits",
+        "cache.prefetch_issued_blocks",
+        "cache.prefetch_used_blocks",
+        "cache.dir_prefetches",
+        "cache.evictions",
+    )
 
     def __init__(self, window_s: float) -> None:
         self.series = TimeSeries(window_s)
+        self._cache_counters = None
+        self._cache_last: dict[str, int] = {}
+        self._cache_window = -1
+
+    def track_cache(self, metrics) -> None:
+        """Start rolling the cache counters of ``metrics`` into windows."""
+        self._cache_counters = metrics.raw_counters()
+        self._cache_last = {
+            s: self._cache_counters.get(s, 0) for s in self.CACHE_SERIES
+        }
+        self._cache_window = 0
+
+    def _flush_cache(self, t: float) -> None:
+        """Attribute counter deltas since the last flush to window ``t``."""
+        live = self._cache_counters
+        frame = self.series.frame(t)
+        counters = frame.counters
+        last = self._cache_last
+        hits = misses = used = issued = 0
+        for s in self.CACHE_SERIES:
+            value = live.get(s, 0)
+            delta = value - last[s]
+            if delta:
+                counters[s] = counters.get(s, 0) + delta
+                last[s] = value
+                if s == "cache.hits":
+                    hits = delta
+                elif s == "cache.misses":
+                    misses = delta
+                elif s == "cache.prefetch_used_blocks":
+                    used = delta
+                elif s == "cache.prefetch_issued_blocks":
+                    issued = delta
+        if hits or misses:
+            frame.sums["cache.hit_rate"] = hits / (hits + misses)
+        if issued or used:
+            # Used blocks may have been issued in an earlier window, so
+            # clamp: accuracy is a per-window estimate, exact in total.
+            frame.sums["cache.prefetch_accuracy"] = min(1.0, used / issued) if issued else 1.0
 
     def loop_probe(self, now: float, op: Op | MetaOp) -> None:
-        self.series.incr(now, "arrivals")
+        series = self.series
+        series.incr(now, "arrivals")
+        if self._cache_counters is not None:
+            window = int(now / series.window_s)
+            if window != self._cache_window:
+                # Crossing into a new window: bill the deltas accumulated
+                # so far to the window just left.
+                self._flush_cache(self._cache_window * series.window_s)
+                self._cache_window = window
+
+    def finish(self, t: float) -> None:
+        """Flush any open cache-counter window at end of run."""
+        if self._cache_counters is not None:
+            self._flush_cache(self._cache_window * self.series.window_s)
+            self._cache_window = int(t / self.series.window_s)
 
     def station_probe(self, name: str):
         """The ``Station.probe`` callback for station ``name``."""

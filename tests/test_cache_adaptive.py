@@ -1,0 +1,215 @@
+"""Adaptive cache profile: per-stream readahead, SLRU tiers, dir prefetch.
+
+Companion to tests/test_disk_cache.py (legacy profile) and
+tests/test_prop_cache_profile.py (profile-off equivalence oracle); this
+file pins the *new* behaviours of ``CacheParams.profile="adaptive"``
+(docs/CACHE.md).
+"""
+
+import pytest
+
+from repro.config import CacheParams, DiskParams, FSConfig, SchedulerParams
+from repro.disk.cache import BufferCache
+from repro.disk.disk import SimulatedDisk
+from repro.errors import ConfigError
+from repro.fs.profiles import redbud_mif_profile
+from repro.meta.mds import MetadataServer
+
+
+def make_adaptive(capacity=64, ra_init=4, ra_max=32, max_streams=1024,
+                  protected_fraction=0.8):
+    disk = SimulatedDisk(DiskParams(capacity_blocks=1 << 16), SchedulerParams())
+    cache = BufferCache(
+        CacheParams(
+            capacity_blocks=capacity,
+            readahead_init_blocks=ra_init,
+            readahead_max_blocks=ra_max,
+            profile="adaptive",
+            max_streams=max_streams,
+            protected_fraction=protected_fraction,
+        ),
+        disk,
+    )
+    return cache, disk
+
+
+class TestPerStreamReadahead:
+    def test_interleaved_streams_each_ramp(self):
+        # More concurrent streams than the legacy table's 4 slots: every
+        # stream keeps its own context and earns readahead.
+        cache, _ = make_adaptive(capacity=4096)
+        nstreams, stride = 8, 4096
+        for i in range(24):
+            for s in range(nstreams):
+                cache.read(s * stride + i, 1)
+        assert len(cache._streams) == nstreams
+        assert cache.metrics.count("cache.readahead_hits") >= nstreams
+        # The bulk of each stream's blocks arrived via prefetch.
+        assert cache.metrics.count("cache.hits") > cache.metrics.count("cache.misses")
+
+    def test_legacy_table_thrashes_where_streams_do_not(self):
+        # The same interleaving against the legacy profile: 4 contexts for
+        # 8 streams means every context is evicted before its stream
+        # returns, so no read ever crosses a frontier.
+        disk = SimulatedDisk(DiskParams(capacity_blocks=1 << 16), SchedulerParams())
+        legacy = BufferCache(CacheParams(capacity_blocks=4096), disk)
+        for i in range(24):
+            for s in range(8):
+                legacy.read(s * 4096 + i, 1)
+        assert legacy.metrics.count("cache.readahead_hits") == 0
+        assert legacy.metrics.count("cache.hits") == 0
+
+    def test_window_decays_when_prefetch_is_evicted_before_use(self):
+        cache, _ = make_adaptive(capacity=8, ra_init=4, ra_max=32)
+        cache.read(0, 2)       # stream frontier 6, window 4
+        cache.read(5, 2)       # crosses: ramp to 8, frontier 15
+        assert list(cache._streams.values()) == [8]
+        cache.insert_blocks(range(100, 108))  # wash the tiny cache
+        cache.read(14, 2)      # crosses 15, but block 14 was evicted
+        assert cache.metrics.count("cache.ra_decays") == 1
+        assert list(cache._streams.values()) == [4]  # back to init
+
+    def test_max_streams_lru_eviction(self):
+        cache, _ = make_adaptive(max_streams=2)
+        for base in (0, 1000, 2000):
+            cache.read(base, 2)
+        assert cache.metrics.count("cache.stream_evictions") == 1
+        assert len(cache._streams) == 2
+        assert all(k > 1000 for k in cache._streams)  # oldest stream gone
+
+    def test_invalidate_drops_only_frontiers_in_region(self):
+        cache, _ = make_adaptive()
+        cache.read(0, 2)       # frontier 6
+        cache.read(1000, 2)    # frontier 1006
+        cache.invalidate(0, 500)
+        assert cache.metrics.count("cache.ra_invalidated") == 1
+        assert list(cache._streams) == [1006]
+
+    def test_bucket_index_stays_consistent(self):
+        cache, _ = make_adaptive(max_streams=4)
+        for base in (0, 1000, 2000, 3000, 4000, 5000):
+            cache.read(base, 2)
+        cache.invalidate(3000, 100)
+        indexed = {k for ks in cache._stream_buckets.values() for k in ks}
+        assert indexed == set(cache._streams)
+
+
+class TestScanResistantTiers:
+    def test_second_touch_promotes_to_protected(self):
+        cache, _ = make_adaptive()
+        cache.read(10, 1)
+        assert 10 in cache._t1 and 10 not in cache._t2
+        cache.read(10, 1)
+        assert 10 in cache._t2
+        assert cache.metrics.count("cache.t1_hits") == 1
+        assert cache.metrics.count("cache.promotions") == 1
+        cache.read(10, 1)
+        assert cache.metrics.count("cache.t2_hits") == 1
+
+    def test_scan_cannot_evict_the_protected_hot_set(self):
+        cache, _ = make_adaptive(capacity=16, protected_fraction=0.5)
+        hot = list(range(6))
+        for b in hot:
+            cache.read(b, 1)
+            cache.read(b, 1)   # promote
+        for b in range(100, 140):  # scan 40 blocks through a 16-block cache
+            cache.read(b, 1)
+        assert all(b in cache._t2 for b in hot)
+        snap = cache.metrics.snapshot()
+        for b in hot:
+            cache.read(b, 1)
+        assert cache.metrics.since(snap).count("cache.misses") == 0
+
+    def test_protected_overflow_demotes_to_probation(self):
+        cache, _ = make_adaptive(capacity=16, protected_fraction=0.25)  # cap 4
+        for b in range(6):
+            cache.read(b, 1)
+            cache.read(b, 1)
+        assert len(cache._t2) == 4
+        assert cache.metrics.count("cache.demotions") == 2
+        assert 0 not in cache._t2 and 0 in cache._t1  # LRU head demoted
+
+    def test_prefetched_first_use_does_not_promote(self):
+        cache, _ = make_adaptive()
+        cache.read(0, 2)  # prefetches blocks 2..5
+        assert 2 in cache._prefetched
+        cache.read(2, 1)  # first requested use: consume, stay in probation
+        assert 2 in cache._t1 and 2 not in cache._t2
+        assert cache.metrics.count("cache.prefetch_used_blocks") == 1
+        cache.read(2, 1)  # second requested touch earns promotion
+        assert 2 in cache._t2
+
+
+class TestDirectoryPrefetch:
+    def test_prefetch_runs_is_batched_and_unbilled(self):
+        cache, disk = make_adaptive(capacity=256)
+        before = disk.metrics.count("disk.read_requests")
+        assert cache.prefetch_runs([(0, 8), (20, 4)]) == 0.0
+        assert disk.metrics.count("disk.read_requests") > before
+        assert cache.metrics.count("cache.dir_prefetches") == 1
+        assert cache.metrics.count("cache.prefetch_issued_blocks") == 12
+        assert cache.metrics.total("cache.unbilled_prefetch_s") > 0.0
+        assert all(b in cache for b in range(8)) and all(
+            b in cache for b in range(20, 24)
+        )
+
+    def test_prefetch_accuracy_counts_requested_uses(self):
+        cache, _ = make_adaptive(capacity=256)
+        cache.prefetch_runs([(0, 8)])
+        assert cache.read(0, 8) == 0.0  # fully prefetched: free and warm
+        assert cache.metrics.count("cache.prefetch_used_blocks") == 8
+
+    def test_resident_blocks_are_not_refetched(self):
+        cache, disk = make_adaptive(capacity=256)
+        cache.prefetch_runs([(0, 8)])
+        before = disk.metrics.count("disk.read_requests")
+        cache.prefetch_runs([(0, 8)])  # fully resident: nothing to do
+        assert disk.metrics.count("disk.read_requests") == before
+        assert cache.metrics.count("cache.dir_prefetches") == 1
+
+    def test_mds_prefetches_embedded_dirs_on_readdir(self):
+        cfg = redbud_mif_profile().with_cache_profile("adaptive")
+        mds = MetadataServer(cfg)
+        d = mds.mkdir(mds.root, "d")
+        for i in range(40):
+            mds.create(d, f"f{i:03d}")
+        mds.drop_caches()
+        mds.readdir_stat(d)
+        assert mds.metrics.count("cache.dir_prefetches") >= 1
+
+    def test_legacy_mds_does_not_prefetch(self):
+        mds = MetadataServer(redbud_mif_profile())
+        d = mds.mkdir(mds.root, "d")
+        for i in range(40):
+            mds.create(d, f"f{i:03d}")
+        mds.drop_caches()
+        mds.readdir_stat(d)
+        assert mds.metrics.count("cache.dir_prefetches") == 0
+
+
+class TestConfig:
+    def test_profile_validation(self):
+        with pytest.raises(ConfigError):
+            CacheParams(profile="arc")
+        with pytest.raises(ConfigError):
+            CacheParams(max_streams=0)
+        with pytest.raises(ConfigError):
+            CacheParams(protected_fraction=1.0)
+        with pytest.raises(ConfigError):
+            CacheParams(ra_contexts=0)
+
+    def test_ra_contexts_field_bounds_the_legacy_table(self):
+        disk = SimulatedDisk(DiskParams(capacity_blocks=1 << 16), SchedulerParams())
+        cache = BufferCache(CacheParams(ra_contexts=2), disk)
+        for base in (0, 1000, 2000):
+            cache.read(base, 2)
+        assert len(cache._ra) == 2
+
+    def test_with_cache_profile_renames_config(self):
+        cfg = redbud_mif_profile().with_cache_profile("adaptive", max_streams=64)
+        assert cfg.cache.profile == "adaptive"
+        assert cfg.cache.max_streams == 64
+        assert cfg.name == "redbud-mif:adaptive-cache"
+
+    def test_default_profile_is_legacy(self):
+        assert FSConfig(name="x").cache.profile == "legacy"

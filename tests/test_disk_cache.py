@@ -192,3 +192,30 @@ class TestInvalidateReadahead:
         cache.invalidate(10, frontier + 8 - 10)
         assert cache.read(frontier, 1) > 0.0
         assert disk.metrics.count("disk.read_requests") >= 2
+
+    def test_invalidate_below_frontier_keeps_context(self):
+        # Invalidating a region wholly *below* the frontier must not drop
+        # the context: the prediction target still exists.  (Regression:
+        # the stale rule used to drop any context within readahead slack
+        # of the region, not just frontiers inside it.)
+        cache, _ = make_cache(capacity=65536, ra_init=4, ra_max=32)
+        cache.read(478, 2)
+        frontier = next(iter(cache._ra))
+        cache.invalidate(470, frontier - 470 - 1)  # stops short of frontier
+        assert frontier in cache._ra
+
+    def test_surviving_context_keeps_warm_read_billing(self):
+        # The surviving context preserves the prefetch-without-billing
+        # behaviour: a fully-resident read crossing its frontier is free
+        # but still issues the prefetch to disk.
+        cache, disk = make_cache(capacity=65536, ra_init=4, ra_max=32)
+        cache.read(478, 2)
+        frontier = next(iter(cache._ra))
+        cache.invalidate(470, 8)  # [470, 478): below the data and frontier
+        assert frontier in cache._ra
+        for b in range(480, frontier + 1):
+            cache.write(b, 1)  # make the frontier read fully resident
+        before = disk.metrics.count("disk.read_requests")
+        assert cache.read(frontier - 1, 2) == 0.0  # warm read stays free
+        assert disk.metrics.count("disk.read_requests") > before
+        assert cache.metrics.count("cache.prefetch_only_reads") == 1

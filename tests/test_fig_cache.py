@@ -1,0 +1,73 @@
+"""fig_cache runner and cache telemetry: acceptance-level checks.
+
+Pins the ISSUE acceptance criteria: the adaptive profile beats the legacy
+LRU on the cache-pressure sweep (>=1.3x simulated time or >=20-point
+hit-rate gain per scenario), and the per-tier hit/miss plus
+prefetch-accuracy series are visible in service-mode telemetry.
+"""
+
+from repro.bench.baseline import PINNED_RUNNERS
+from repro.core.run import run
+
+
+def test_fig_cache_adaptive_beats_legacy():
+    result = run("fig_cache", scale=0.05, seed=0)
+    payload = result.payload
+    for scenario in ("pressure", "streams"):
+        assert (
+            payload.speedup(scenario) >= 1.3
+            or payload.hit_rate_gain(scenario) >= 20.0
+        ), scenario
+    # The pressure scenario clears BOTH thresholds at the pinned scale.
+    assert payload.speedup("pressure") >= 1.3
+    assert payload.hit_rate_gain("pressure") >= 20.0
+
+
+def test_fig_cache_counters_are_coherent():
+    result = run("fig_cache", scale=0.05, seed=0)
+    adaptive = result.payload.get("pressure", "adaptive")
+    legacy = result.payload.get("pressure", "legacy")
+    assert adaptive.ops == legacy.ops  # same workload either way
+    assert adaptive.disk_requests < legacy.disk_requests
+    assert 0 < adaptive.prefetch_used <= adaptive.prefetch_issued
+    assert adaptive.t1_hits + adaptive.t2_hits <= adaptive.hits
+    assert legacy.t1_hits == legacy.t2_hits == 0  # tiers are adaptive-only
+
+
+def test_fig_cache_is_deterministic_across_jobs():
+    a = run("fig_cache", scale=0.05, seed=0, jobs=1)
+    b = run("fig_cache", scale=0.05, seed=0, jobs=4)
+    assert a.fingerprint == b.fingerprint
+    assert [vars(r) for r in a.payload.runs] == [vars(r) for r in b.payload.runs]
+    assert a.metrics.counters == b.metrics.counters
+
+
+def test_fig_cache_is_pinned():
+    assert "fig_cache" in PINNED_RUNNERS
+
+
+def test_service_telemetry_carries_cache_series():
+    result = run(
+        "service", scale=0.05, seed=0, streams=300,
+        telemetry=True, cache_profile="adaptive",
+    )
+    snap = result.payload.cells[0].telemetry
+    names = set()
+    for frame in snap.frames:
+        names.update(frame.counters)
+        names.update(frame.sums)
+    assert "cache.hits" in names
+    assert any(n in names for n in ("cache.t1_hits", "cache.t2_hits"))
+    assert "cache.hit_rate" in names
+
+
+def test_service_cache_profile_default_keeps_fingerprint():
+    default = run("service", scale=0.05, seed=0, streams=100)
+    explicit = run(
+        "service", scale=0.05, seed=0, streams=100, cache_profile="legacy"
+    )
+    adaptive = run(
+        "service", scale=0.05, seed=0, streams=100, cache_profile="adaptive"
+    )
+    assert default.fingerprint == explicit.fingerprint
+    assert adaptive.fingerprint != default.fingerprint
