@@ -37,7 +37,10 @@ BENCH_SCHEMA_VERSION = 1
 #: Pinned configuration for committed baselines (small enough for CI smoke).
 PINNED_SCALE = 0.05
 PINNED_SEED = 0
-PINNED_RUNNERS = ("fig6a", "fig6b", "fig7", "table1", "fig8", "fig_listio", "fig_cache")
+PINNED_RUNNERS = (
+    "fig6a", "fig6b", "fig7", "table1", "fig8", "fig_listio", "fig_cache",
+    "fig_fsck",
+)
 
 
 def baseline_filename(name: str) -> str:

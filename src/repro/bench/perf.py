@@ -376,7 +376,159 @@ def measure_cache(
     )
 
 
-def save_report(report: PerfReport | MetaPerfReport | CachePerfReport, path: str) -> None:
+#: Image-scale multiplier for the fsck perf harness: the wall-clock
+#: measurement needs a much bigger crashed image than the ``fig_fsck``
+#: trend benchmark for the parallel check to amortize worker start-up.
+FSCK_PERF_MULT = 20.0
+
+
+@dataclass(frozen=True)
+class FsckPerfReport:
+    """Serial-vs-parallel wall clock of the sharded checker (docs/FSCK.md).
+
+    Both runs check (and then repair) the *same* seeded crashed image; the
+    ``identical`` flag verifies the parallel run's findings, counters and
+    repair actions are byte-identical to the serial run's — the pFSCK
+    ordered-merge contract — and carries the CI verdict.  Speedups are
+    informational: on a loaded or single-core host the worker pool may not
+    win at smoke scale.
+    """
+
+    runner: str
+    scale: float
+    image_scale: float
+    seed: int
+    jobs: int
+    extents: int
+    inodes: int
+    findings: int
+    actions: int
+    converged: bool
+    serial_check_s: float
+    parallel_check_s: float
+    serial_repair_s: float
+    parallel_repair_s: float
+    identical: bool
+    fingerprint: str
+
+    @property
+    def check_speedup(self) -> float:
+        """serial / parallel check wall-clock ratio (> 1 = parallel faster)."""
+        return (
+            self.serial_check_s / self.parallel_check_s
+            if self.parallel_check_s > 0 else 0.0
+        )
+
+    @property
+    def repair_speedup(self) -> float:
+        """serial / parallel repair wall-clock ratio."""
+        return (
+            self.serial_repair_s / self.parallel_repair_s
+            if self.parallel_repair_s > 0 else 0.0
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "runner": self.runner,
+            "scale": self.scale,
+            "image_scale": self.image_scale,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "extents": self.extents,
+            "inodes": self.inodes,
+            "findings": self.findings,
+            "actions": self.actions,
+            "converged": self.converged,
+            "serial_check_s": self.serial_check_s,
+            "parallel_check_s": self.parallel_check_s,
+            "serial_repair_s": self.serial_repair_s,
+            "parallel_repair_s": self.parallel_repair_s,
+            "check_speedup": self.check_speedup,
+            "repair_speedup": self.repair_speedup,
+            "identical": self.identical,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def _fsck_doc(report, repair) -> str:
+    """Canonical serialization of a check report + repair outcome."""
+    return dumps({
+        "findings": [[f.code, f.message] for f in report.findings],
+        "checked_extents": report.checked_extents,
+        "checked_inodes": report.checked_inodes,
+        "actions": [[a.code, a.message] for a in repair.actions],
+        "passes": repair.passes,
+        "converged": repair.converged,
+    })
+
+
+def _fsck_timed(*, image_scale: float, seed: int, jobs: int) -> tuple[float, float, str, Any]:
+    """Check + repair one freshly built crashed image at ``jobs`` workers.
+
+    Returns (check seconds, repair seconds, canonical doc, report).
+    """
+    from repro.fault import build_crashed_image
+    from repro.fs.verify import check_dataplane, check_mds, repair_dataplane, repair_mds
+
+    img = build_crashed_image(scale=image_scale, seed=seed)
+    t0 = time.perf_counter()
+    report = check_dataplane(img.plane, strict_accounting=False, jobs=jobs).merge(
+        check_mds(img.mds, jobs=jobs)
+    )
+    check_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    repair = repair_dataplane(img.plane, jobs=jobs).merge(
+        repair_mds(img.mds, jobs=jobs)
+    )
+    repair_s = time.perf_counter() - t0
+    del img
+    return check_s, repair_s, _fsck_doc(report, repair), report, repair
+
+
+def measure_fsck(
+    *, scale: float = 1.0, seed: int = 0, jobs: int | None = None
+) -> FsckPerfReport:
+    """Time the sharded checker serially and at ``jobs`` workers.
+
+    Each mode builds its own copy of the seeded crashed image (repair
+    mutates it), checks it, and repairs it to convergence.  The report's
+    ``identical`` flag — findings, order, counters and repair actions all
+    byte-identical across worker counts — carries the CI verdict.
+    """
+    import hashlib
+
+    n = resolve_jobs(jobs)
+    image_scale = scale * FSCK_PERF_MULT
+    serial_check_s, serial_repair_s, serial_doc, report, repair = _fsck_timed(
+        image_scale=image_scale, seed=seed, jobs=1
+    )
+    parallel_check_s, parallel_repair_s, parallel_doc, _, _ = _fsck_timed(
+        image_scale=image_scale, seed=seed, jobs=n
+    )
+    return FsckPerfReport(
+        runner="fsck",
+        scale=scale,
+        image_scale=image_scale,
+        seed=seed,
+        jobs=n,
+        extents=report.checked_extents,
+        inodes=report.checked_inodes,
+        findings=len(report.findings),
+        actions=len(repair.actions),
+        converged=repair.converged,
+        serial_check_s=serial_check_s,
+        parallel_check_s=parallel_check_s,
+        serial_repair_s=serial_repair_s,
+        parallel_repair_s=parallel_repair_s,
+        identical=serial_doc == parallel_doc,
+        fingerprint=hashlib.sha256(serial_doc.encode()).hexdigest()[:16],
+    )
+
+
+def save_report(
+    report: PerfReport | MetaPerfReport | CachePerfReport | FsckPerfReport,
+    path: str,
+) -> None:
     """Write the report as sorted-key JSON (CI timing artifact)."""
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(report.to_dict(), fh, sort_keys=True, indent=2)

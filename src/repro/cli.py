@@ -292,6 +292,12 @@ def build_parser() -> argparse.ArgumentParser:
         "adaptive tiered cache profile, wall clock + hit-rate delta "
         "(exit 1 unless a scenario clears the acceptance thresholds)",
     )
+    p.add_argument(
+        "--fsck", action="store_true",
+        help="measure the consistency checker instead: serial vs sharded "
+        "check+repair of a corrupted image (exit 1 unless the reports "
+        "are byte-identical)",
+    )
     p.add_argument("--out", default=None, metavar="PATH",
                    help="also write the timing report as JSON to PATH")
     p.set_defaults(func=cmd_perf)
@@ -330,9 +336,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_defrag)
 
-    p = sub.add_parser("fsck", help="run the consistency checker on a demo workload")
-    p.add_argument("--policy", default="ondemand")
+    p = sub.add_parser(
+        "fsck",
+        help="check (and optionally repair) a corrupted crashed image; "
+        "--online scrubs incrementally while the service workload runs "
+        "(docs/FSCK.md)",
+    )
+    p.add_argument("--scale", type=_scale, default=1.0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--layout", default="embedded", choices=["embedded", "normal"],
+                   help="metadata layout of the crashed image")
+    _add_jobs(p)
+    p.add_argument("--corrupt", type=_positive_int, default=4, metavar="N",
+                   help="faults injected per plane before checking "
+                   "(offline), or per live injection round (--online)")
+    p.add_argument("--repair", action="store_true",
+                   help="apply repairs after the check and re-verify")
+    p.add_argument("--online", action="store_true",
+                   help="scrub one shard at a time while the service "
+                   "workload runs with live corruption, then verify the "
+                   "image drained to clean")
     p.set_defaults(func=cmd_fsck)
 
     p = sub.add_parser("info", help="show the three system profiles")
@@ -641,8 +664,43 @@ def cmd_trace(args) -> int:
 
 
 def cmd_perf(args) -> int:
-    from repro.bench.perf import measure, measure_cache, measure_meta, save_report
+    from repro.bench.perf import (
+        measure,
+        measure_cache,
+        measure_fsck,
+        measure_meta,
+        save_report,
+    )
 
+    if args.fsck:
+        report = measure_fsck(scale=args.scale, seed=args.seed, jobs=args.jobs)
+        table = Table(
+            f"Fsck strategies — crashed image at scale {report.image_scale:g} "
+            f"({report.extents} extents, {report.inodes} inodes, "
+            f"jobs={report.jobs})",
+            ["phase", "serial (s)", f"{report.jobs} workers (s)", "speedup"],
+        )
+        table.add_row([
+            "check", f"{report.serial_check_s:.3f}",
+            f"{report.parallel_check_s:.3f}", f"{report.check_speedup:.2f}x",
+        ])
+        table.add_row([
+            "repair", f"{report.serial_repair_s:.3f}",
+            f"{report.parallel_repair_s:.3f}", f"{report.repair_speedup:.2f}x",
+        ])
+        table.print()
+        print()
+        print(f"findings: {report.findings}, repair actions: {report.actions}, "
+              f"converged: {report.converged}")
+        if report.identical:
+            print(f"serial and sharded runs rendered identical documents "
+                  f"(fingerprint {report.fingerprint})")
+        else:
+            print("MISMATCH: serial and sharded fsck rendered different documents")
+        if args.out:
+            save_report(report, args.out)
+            print(f"wrote timing report to {args.out}")
+        return 0 if report.identical else 1
     if args.cache:
         report = measure_cache(scale=args.scale, seed=args.seed, jobs=args.jobs)
         table = Table(
@@ -786,25 +844,70 @@ def cmd_defrag(args) -> int:
 
 
 def cmd_fsck(args) -> int:
-    from repro.fs.verify import check_dataplane, check_mds
-    from repro.fs.redbud import RedbudFileSystem
-
-    fs = RedbudFileSystem(
-        with_alloc_policy(redbud_mif_profile(), args.policy)
+    from repro.fault import build_crashed_image
+    from repro.fs.verify import (
+        check_dataplane,
+        check_mds,
+        repair_dataplane,
+        repair_mds,
+        shard_work,
     )
-    fs.mkdir("/d")
-    for i in range(50):
-        fs.create(f"/d/f{i}")
-        fs.write(f"/d/f{i}", 0, 64 * KiB)
-    for i in range(0, 50, 3):
-        fs.unlink(f"/d/f{i}")
-    data = check_dataplane(fs.data)
-    meta = check_mds(fs.mds)
-    print(f"data plane: {len(data.errors)} errors, {data.checked_extents} extents checked")
-    print(f"metadata:   {len(meta.errors)} errors, {meta.checked_inodes} inodes checked")
-    for err in data.errors + meta.errors:
-        print(f"  ! {err}")
-    return 0 if data.clean and meta.clean else 1
+
+    if args.online:
+        result = run_experiment(
+            "service",
+            scale=args.scale,
+            seed=args.seed,
+            jobs=args.jobs,
+            telemetry=True,
+            scrub=True,
+            scrub_corrupt=5,
+            scrub_faults=args.corrupt,
+        )
+        cell = result.payload.cells[0]
+        scrub = cell.scrub
+        print(f"online scrub over {cell.duration_s:g} s of service load "
+              f"({cell.arrivals} arrivals):")
+        print(f"  steps: {scrub.steps} ({scrub.cycles} full rotation(s), "
+              f"{scrub.drain_cycles} drain cycle(s))")
+        print(f"  injected live: {len(scrub.injected)} fault(s) "
+              f"({args.corrupt} per round)")
+        print(f"  findings: {scrub.findings}, repairs applied: {scrub.repairs}")
+        windows = sum(
+            1 for fr in cell.telemetry.frames
+            if any(k.startswith("scrub.") for k in fr.counters)
+        )
+        print(f"  telemetry: scrub counters in {windows} of "
+              f"{len(cell.telemetry.frames)} window(s)")
+        state = "clean" if scrub.clean_after else "STILL DIRTY"
+        print(f"  final full check: {state}")
+        return 0 if scrub.clean_after else 1
+
+    img = build_crashed_image(
+        scale=args.scale, seed=args.seed, layout=args.layout,
+        data_faults=args.corrupt, meta_faults=args.corrupt,
+    )
+    data_shards, meta_shards = shard_work(img.plane, img.mds)
+    print(f"crashed image: {img.nfiles} file(s) / {img.extents} extent(s) on "
+          f"the data plane, {img.inodes} inode(s) in {img.ndirs} "
+          f"{args.layout} dir(s); {len(img.injected)} fault(s) injected")
+    print(f"shards: {len(data_shards)} data (per PAG) + "
+          f"{len(meta_shards)} metadata")
+    if args.repair:
+        repair = repair_dataplane(img.plane, jobs=args.jobs).merge(
+            repair_mds(img.mds, jobs=args.jobs)
+        )
+        _print_repair("fsck", repair)
+        return 0 if repair.converged else 1
+    report = check_dataplane(img.plane, strict_accounting=False, jobs=args.jobs)
+    report = report.merge(check_mds(img.mds, jobs=args.jobs))
+    print(f"checked {report.checked_extents} extent(s), "
+          f"{report.checked_inodes} inode(s)")
+    for f in report.findings:
+        print(f"  ! [{f.code}] {f.message}")
+    print("clean" if report.clean else f"{len(report.findings)} finding(s) "
+          "(re-run with --repair to fix)")
+    return 0 if report.clean else 1
 
 
 def _print_repair(label: str, repair) -> None:
@@ -843,6 +946,41 @@ def print_faults(run_result, args) -> int:
     print()
     _print_repair("metadata", result.mds_repair)
     return 0 if result.clean_after else 1
+
+
+def print_fig_fsck(run_result, args) -> int:
+    result = run_result.payload
+    jobs_points = list(result.jobs_points)
+    table = Table(
+        "Parallel fsck — modeled shard makespan vs worker count "
+        "(simulated seconds)",
+        ["layout", "img scale", "extents", "inodes", "shards", "findings"]
+        + [f"check j{j}" for j in jobs_points]
+        + [f"speedup j{jobs_points[-1]}", "repair", "converged"],
+    )
+    for run in result.runs:
+        table.add_row(
+            [
+                run.layout,
+                f"{run.image_scale:g}",
+                run.extents,
+                run.inodes,
+                f"{run.data_shards}+{run.meta_shards}",
+                run.findings,
+                *[f"{run.check_s[j]:.4f}" for j in jobs_points],
+                f"{run.speedup(jobs_points[-1]):.2f}x",
+                f"{run.repair_s:.4f}",
+                "yes" if run.converged else "NO",
+            ]
+        )
+    table.print()
+    print()
+    print(
+        "check times are deterministic modeled costs (per-shard setup + "
+        "per-item check, LPT makespan over workers; docs/FSCK.md) — "
+        "wall-clock speedups come from `repro perf --fsck`"
+    )
+    return 0 if result.converged else 1
 
 
 def _cell_artifact_path(path: str, report, cell) -> str:
@@ -888,6 +1026,17 @@ def print_service(run_result, args) -> int:
             f"rate {cell.rate:g}: {cell.arrivals} arrivals over "
             f"{cell.streams} streams ({cell.active_streams} active), "
             f"queue depth {cell.queue_depth}, {cell.duration_s:g} s window"
+        )
+    for cell in report.cells:
+        if cell.scrub is None:
+            continue
+        s = cell.scrub
+        state = "clean" if s.clean_after else "STILL DIRTY"
+        print(
+            f"rate {cell.rate:g} scrub: {s.steps} step(s) over "
+            f"{s.cycles} rotation(s), {s.findings} finding(s), "
+            f"{s.repairs} repair(s), {len(s.injected)} live fault(s); "
+            f"{state} after {s.drain_cycles} drain cycle(s)"
         )
 
     telemetry_out = getattr(args, "telemetry_out", None)
@@ -943,6 +1092,8 @@ def print_service(run_result, args) -> int:
             json.dump(doc, fh, sort_keys=True, indent=2)
             fh.write("\n")
         print(f"wrote latency report to {args.out}")
+    if any(c.scrub is not None and not c.scrub.clean_after for c in report.cells):
+        return 1
     return 1 if report.slo_verdict == "fail" else 0
 
 
@@ -1066,6 +1217,12 @@ RUNNER_COMMANDS: tuple[RunnerCommand, ...] = (
         print_faults,
     ),
     RunnerCommand(
+        "fig_fsck",
+        "parallel fsck: crashed-image check/repair sweep, modeled shard "
+        "makespan vs worker count (docs/FSCK.md)",
+        print_fig_fsck,
+    ),
+    RunnerCommand(
         "service",
         "open-loop service mode: arrival-driven load, latency percentiles "
         "(docs/SERVICE.md)",
@@ -1105,6 +1262,19 @@ RUNNER_COMMANDS: tuple[RunnerCommand, ...] = (
                 help="MDS buffer-cache profile: legacy flat LRU or the "
                 "adaptive tiered cache (docs/CACHE.md); per-tier hit/miss "
                 "and prefetch-accuracy series appear under --telemetry")),
+            CliOption(("--scrub",), "scrub", dict(
+                nargs="?", const=True, default=False, type=float,
+                metavar="INTERVAL_S",
+                help="run the incremental scrubber alongside the workload, "
+                "one shard per tick; optional tick interval in simulated "
+                "seconds (default: duration/50; docs/FSCK.md)")),
+            CliOption(("--scrub-corrupt",), "scrub_corrupt", dict(
+                type=int, default=0, metavar="N",
+                help="with --scrub: inject live corruption every N scrub "
+                "ticks (0 = none)")),
+            CliOption(("--scrub-faults",), "scrub_faults", dict(
+                type=_positive_int, default=1, metavar="N",
+                help="faults per live corruption round (default 1)")),
             CliOption(("--telemetry-out",), None, dict(
                 default=None, metavar="PATH", dest="telemetry_out",
                 help="write the per-window telemetry as CSV to PATH "

@@ -102,3 +102,34 @@ def run_cells(
     with ProcessPoolExecutor(max_workers=min(n, len(cells))) as pool:
         futures = [pool.submit(fn, cell) for cell in cells]
         return [f.result() for f in futures]
+
+
+def stream_cells(
+    cells: Sequence[S],
+    fn: Callable[..., Any],
+    jobs: int | None = None,
+    tracer: Any = None,
+):
+    """Like :func:`run_cells`, but yields results as a generator — still in
+    submission order — so the consumer can pipeline downstream work against
+    cells that are still executing.
+
+    This is the pFSCK check→repair shape: the caller consumes shard *i*'s
+    result (and, say, repairs what it found) while shards *i+1..n* keep
+    running in the pool.  The serial fallback is lazy for the same reason:
+    each ``fn(cell)`` runs only when the consumer advances, interleaving
+    check and repair work even at ``jobs=1``.  Determinism is unchanged —
+    submission order, never completion order.
+    """
+    n = resolve_jobs(jobs)
+    traced = tracer is not None and (
+        getattr(tracer, "enabled", False) or getattr(tracer, "sampling", False)
+    )
+    if n <= 1 or len(cells) <= 1 or traced:
+        for cell in cells:
+            yield fn(cell, tracer)
+        return
+    with ProcessPoolExecutor(max_workers=min(n, len(cells))) as pool:
+        futures = [pool.submit(fn, cell) for cell in cells]
+        for f in futures:
+            yield f.result()

@@ -22,7 +22,7 @@ from repro.core.parallel import CellResult, run_cells
 from repro.core.run import RunResult, fingerprint, register
 from repro.disk.model import BlockRequest
 from repro.errors import ConfigError, CrashError, LatentSectorError
-from repro.fault import Corruptor, FaultInjector, FaultPlan
+from repro.fault import Corruptor, FaultInjector, FaultPlan, build_crashed_image
 from repro.fs.dataplane import DataPlane
 from repro.fs.profiles import (
     lustre_profile,
@@ -32,7 +32,14 @@ from repro.fs.profiles import (
 )
 from repro.fs.redbud import RedbudFileSystem
 from repro.fs.stream import make_stream_id
-from repro.fs.verify import RepairResult, repair_dataplane, repair_mds
+from repro.fs.verify import (
+    RepairResult,
+    check_dataplane,
+    check_mds,
+    repair_dataplane,
+    repair_mds,
+    shard_work,
+)
 from repro.meta.mds import MetadataServer
 from repro.obs.layout import LayoutInspector, LayoutReport
 from repro.obs.slo import SLObjective, SLOReport, evaluate as evaluate_slo, resolve_objectives
@@ -56,7 +63,9 @@ from repro.workloads.filesizes import kernel_tree_sizes
 from repro.workloads.ior import IORBenchmark
 from repro.workloads.metarates import MetaratesWorkload
 from repro.workloads.postmark import PostMarkConfig, PostMarkResult, PostMarkWorkload
+from repro.fs.verify import Scrubber
 from repro.workloads.service import (
+    ScrubSpec,
     ServiceSpec,
     ServiceTelemetry,
     ServiceWorkload,
@@ -1104,6 +1113,21 @@ class StationReport:
 
 
 @dataclass
+class ScrubSummary:
+    """Online-scrub outcome for one service cell (docs/FSCK.md)."""
+
+    steps: int
+    findings: int
+    repairs: int
+    cycles: int
+    #: Finding codes the live corruptor aimed for during the run.
+    injected: list[str] = field(default_factory=list)
+    #: Extra full rotations needed after the arrival window to reach clean.
+    drain_cycles: int = 0
+    clean_after: bool = False
+
+
+@dataclass
 class ServiceCell:
     """One (rate, …) operating point: arrivals plus per-station reports."""
 
@@ -1122,6 +1146,8 @@ class ServiceCell:
     telemetry: TimeSeriesSnapshot | None = None
     #: SLO evaluation over :attr:`telemetry` (``--slo``); None when disabled.
     slo: SLOReport | None = None
+    #: Online-scrub summary (``--scrub``); None when disabled.
+    scrub: ScrubSummary | None = None
 
     def station(self, name: str) -> StationReport:
         try:
@@ -1181,7 +1207,7 @@ def _station_report(st, duration_s: float, drops_by_kind: dict[str, int]) -> Sta
 
 def _service_cell(spec, tracer=None) -> CellResult:
     """One open-loop operating point: build, arrive, drain, report."""
-    svc, cfg, execution, telemetry_window, objectives = spec
+    svc, cfg, execution, telemetry_window, objectives, scrub = spec
     if execution:
         cfg = replace(cfg, execution=execution)
     cell = _Cell(tracer)
@@ -1240,9 +1266,69 @@ def _service_cell(spec, tracer=None) -> CellResult:
             wl.events(kind),
             arrive(stations[name], kind, wl.bytes_for, drops[name]),
         )
+
+    scrubber = None
+    injected: list[str] = []
+    if scrub is not None:
+        # Online scrub: one shard check/repair per interval, interleaved
+        # with foreground arrivals.  Corruption stays on the data plane —
+        # live metadata traffic would trip over a damaged namespace.
+        scrubber = Scrubber(plane, mds, strict_accounting=False)
+        corruptor = Corruptor(svc.seed + 7919)
+
+        def scrub_events():
+            step = 0
+            while True:
+                yield (scrub.interval_s, ("scrub", step))
+                step += 1
+
+        def on_scrub(now, op):
+            _, step = op
+            if scrub.corrupt_every and step % scrub.corrupt_every == 0:
+                hit = corruptor.corrupt_dataplane(plane, nfaults=scrub.nfaults)
+                injected.extend(hit)
+            else:
+                hit = []
+            result = scrubber.step()
+            if telem is not None:
+                counters = telem.series.frame(now).counters
+                counters["scrub.steps"] = counters.get("scrub.steps", 0) + 1
+                for key, value in (
+                    ("scrub.findings", result.findings),
+                    ("scrub.repairs", result.repaired),
+                    ("scrub.injected", len(hit)),
+                ):
+                    if value:
+                        counters[key] = counters.get(key, 0) + value
+
+        loop.add_source(scrub_events(), on_scrub)
+
     loop.run(until=svc.duration_s)
     for st in stations.values():
         st.drain()
+
+    scrub_summary = None
+    if scrubber is not None:
+        # After the arrival window, let the scrubber finish healing any
+        # damage injected late in the run: full rotations until the
+        # offline checker reports clean (bounded — repair converges).
+        drain_cycles = 0
+        final = scrubber.full_check()
+        while not final.clean and drain_cycles < 4:
+            for _ in range(scrubber.shard_count):
+                scrubber.step()
+            drain_cycles += 1
+            final = scrubber.full_check()
+        scrub_summary = ScrubSummary(
+            steps=scrubber.shards_checked,
+            findings=scrubber.findings_found,
+            repairs=scrubber.repairs_applied,
+            cycles=scrubber.cycles,
+            injected=injected,
+            drain_cycles=drain_cycles,
+            clean_after=final.clean,
+        )
+
     if telem is not None:
         telem.finish(svc.duration_s)
 
@@ -1283,6 +1369,7 @@ def _service_cell(spec, tracer=None) -> CellResult:
         io_profile=dict(plane.array.io_profile),
         telemetry=snapshot,
         slo=slo_report,
+        scrub=scrub_summary,
     )
     return cell.result(payload)
 
@@ -1333,6 +1420,9 @@ def service_mode(
     slo: bool | str | SLObjective | tuple[str | SLObjective, ...] | None = None,
     sample: int | str | None = None,
     cache_profile: str = "legacy",
+    scrub: bool | float = False,
+    scrub_corrupt: int = 0,
+    scrub_faults: int = 1,
 ) -> RunResult:
     """Open-loop service mode: latency under a fixed offered load.
 
@@ -1368,6 +1458,17 @@ def service_mode(
     cache counters (per-tier hits, misses, prefetch issued/used) are
     rolled into per-window series with a derived
     ``cache.prefetch_accuracy``.
+
+    ``scrub`` enables online scrubbing (docs/FSCK.md): ``True`` steps the
+    :class:`~repro.fs.verify.Scrubber` once per telemetry-sized window
+    (duration / :data:`TELEMETRY_WINDOWS`), a number is an explicit step
+    interval in simulated seconds.  ``scrub_corrupt`` > 0 additionally
+    injects ``scrub_faults`` seeded data-plane corruptions before every
+    ``scrub_corrupt``-th step (implies scrubbing), so the scrub has live
+    damage to converge on; per-window ``scrub.*`` counters appear under
+    ``telemetry`` and the cell payload carries a :class:`ScrubSummary`.
+    Scrubbing repairs live state, so it enters the fingerprint when
+    enabled; the default stays fingerprint-identical.
     """
     execution = _resolve_execution(execution, legacy_io)
     rate_points = tuple(resolve_rate(r) for r in (rates if rates is not None else (rate,)))
@@ -1383,11 +1484,33 @@ def service_mode(
     )
     if sample is not None and (trace is None or trace is False):
         trace = SamplingTracer(every=parse_sample(sample))
+    scrub_spec = None
+    if scrub or scrub_corrupt:
+        interval_s = (
+            duration_s / TELEMETRY_WINDOWS
+            if isinstance(scrub, bool) else float(scrub)
+        )
+        scrub_spec = ScrubSpec(
+            interval_s=interval_s,
+            corrupt_every=scrub_corrupt,
+            nfaults=scrub_faults,
+        )
+    # Scrubbing repairs live state, so it participates in the fingerprint
+    # — but only when enabled, keeping default fingerprints unchanged.
+    scrub_kwargs = (
+        {}
+        if scrub_spec is None
+        else {
+            "scrub_interval_s": scrub_spec.interval_s,
+            "scrub_corrupt": scrub_spec.corrupt_every,
+            "scrub_faults": scrub_spec.nfaults,
+        }
+    )
     run = _Run(
         "service", trace, scale=scale, seed=seed, streams=streams,
         rates=rate_points, duration_s=duration_s, queue_depth=queue_depth,
         read_fraction=read_fraction, meta_fraction=meta_fraction,
-        request_bytes=request_bytes, profile=cfg.name,
+        request_bytes=request_bytes, profile=cfg.name, **scrub_kwargs,
     )
     specs = [
         (
@@ -1405,6 +1528,7 @@ def service_mode(
             execution,
             telemetry_window,
             objectives,
+            scrub_spec,
         )
         for r in rate_points
     ]
@@ -1701,6 +1825,152 @@ def cache_pressure_suite(
         for profile in profiles
     ]
     for cell in run_cells(specs, _fig_cache_cell, jobs=jobs, tracer=run.tracer):
+        run.absorb(cell)
+        payload.runs.append(cell.payload)
+    return run.result(payload)
+
+
+# ---------------------------------------------------------------------------
+# fig_fsck: crashed-image check/repair sweep (parallel fsck, docs/FSCK.md)
+# ---------------------------------------------------------------------------
+
+
+def _lpt_makespan(costs: list[float], workers: int) -> float:
+    """Makespan of longest-processing-time-first assignment — the modeled
+    parallel check time over the shard pool (greedy LPT is within 4/3 of
+    optimal, close enough for a trend benchmark)."""
+    heads = [0.0] * max(1, workers)
+    for cost in sorted(costs, reverse=True):
+        i = min(range(len(heads)), key=lambda k: heads[k])
+        heads[i] += cost
+    return max(heads)
+
+
+@dataclass
+class FsckRun:
+    """One (layout, image scale) crashed image through check + repair.
+
+    ``check_s`` maps a worker count to the *modeled* parallel check time
+    (shard costs from :class:`~repro.config.FsckParams` scheduled LPT-first)
+    so the rendered document is byte-identical at any ``--jobs``; real
+    wall-clock speedups are measured by ``repro perf --fsck`` instead.
+    """
+
+    layout: str
+    image_scale: float
+    extents: int
+    inodes: int
+    data_shards: int
+    meta_shards: int
+    findings: int
+    actions: int
+    passes: int
+    converged: bool
+    injected: list[str]
+    check_s: dict[int, float]
+    repair_s: float
+
+    def speedup(self, jobs: int) -> float:
+        """Modeled check-time gain of ``jobs`` workers over one."""
+        return self.check_s[1] / self.check_s[jobs] if self.check_s[jobs] else 0.0
+
+
+@dataclass
+class FigFsckResult:
+    """Payload of the ``fig_fsck`` runner."""
+
+    jobs_points: list[int]
+    runs: list[FsckRun] = field(default_factory=list)
+
+    def get(self, layout: str, image_scale: float) -> FsckRun:
+        for r in self.runs:
+            if r.layout == layout and r.image_scale == image_scale:
+                return r
+        raise KeyError((layout, image_scale))
+
+    @property
+    def converged(self) -> bool:
+        return all(r.converged for r in self.runs)
+
+
+def _fig_fsck_cell(spec, tracer=None) -> CellResult:
+    """One crashed image: measure shard work, check, repair to convergence."""
+    image_scale, seed, layout, jobs_points, tag = spec
+    cell = _Cell(tracer)
+    img = build_crashed_image(scale=image_scale, seed=seed, layout=layout)
+    params = img.plane.config.fsck
+    data_work, meta_work = shard_work(img.plane, img.mds)
+    report = check_dataplane(img.plane, strict_accounting=False).merge(
+        check_mds(img.mds)
+    )
+    costs = [params.shard_setup_s + n * params.check_extent_s for n in data_work]
+    costs += [params.shard_setup_s + n * params.check_inode_s for n in meta_work]
+    check_s = {j: _lpt_makespan(costs, j) for j in jobs_points}
+    rep = repair_dataplane(img.plane).merge(repair_mds(img.mds))
+    repair_s = (
+        rep.passes * params.shard_setup_s
+        + len(rep.actions) * params.repair_action_s
+    )
+    ops = report.checked_extents + report.checked_inodes
+    for j in jobs_points:
+        cell.phase(
+            f"check:{tag}:j{j}",
+            ThroughputResult(bytes_moved=0, elapsed=check_s[j], ops=ops),
+        )
+    cell.phase(
+        f"repair:{tag}",
+        ThroughputResult(bytes_moved=0, elapsed=repair_s, ops=len(rep.actions)),
+    )
+    cell.capture(f"fsck:{tag}", img.plane)
+    return cell.result(FsckRun(
+        layout=layout,
+        image_scale=image_scale,
+        extents=img.extents,
+        inodes=img.inodes,
+        data_shards=len(data_work),
+        meta_shards=len(meta_work),
+        findings=len(report.findings),
+        actions=len(rep.actions),
+        passes=rep.passes,
+        converged=rep.converged,
+        injected=list(img.injected),
+        check_s=check_s,
+        repair_s=repair_s,
+    ))
+
+
+@register("fig_fsck")
+def fsck_benchmarks(
+    *,
+    scale: float = 1.0,
+    seed: int = 0,
+    trace: Tracer | NullTracer | bool | None = None,
+    layouts: tuple[str, ...] = ("embedded", "normal"),
+    multipliers: tuple[float, ...] = (1, 2, 4),
+    jobs_points: tuple[int, ...] = (1, 2, 4, 8),
+    jobs: int | None = None,
+) -> RunResult:
+    """Crashed-image check/repair sweep for the parallel fsck (docs/FSCK.md).
+
+    Each cell builds a Corruptor-damaged image (``fault.build_crashed_image``)
+    at ``scale`` times one of ``multipliers``, checks it with the sharded
+    checker, repairs it to convergence and reports modeled check times for
+    every worker count in ``jobs_points``.  The timings are simulated (shard
+    work volumes priced by :class:`~repro.config.FsckParams`), so the
+    document is byte-identical at any ``jobs`` — the ordered-merge contract
+    the bench gate relies on.
+    """
+    run = _Run(
+        "fig_fsck", trace, scale=scale, seed=seed, layouts=tuple(layouts),
+        multipliers=tuple(multipliers), jobs_points=tuple(jobs_points),
+    )
+    specs = [
+        (scale * m, seed, layout, tuple(jobs_points), f"{layout}:x{m:g}")
+        for layout in layouts
+        for m in multipliers
+    ]
+    payload = FigFsckResult(jobs_points=list(jobs_points))
+    for cell in run_cells(specs, _fig_fsck_cell, jobs=jobs, tracer=run.tracer):
         run.absorb(cell)
         payload.runs.append(cell.payload)
     return run.result(payload)

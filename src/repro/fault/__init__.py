@@ -9,7 +9,14 @@ multi-block writes and crash points.  A separate structure-level
 """
 
 from repro.fault.corrupt import Corruptor
+from repro.fault.crashimage import CrashedImage, build_crashed_image
 from repro.fault.injector import FaultInjector
 from repro.fault.plan import FaultPlan
 
-__all__ = ["Corruptor", "FaultInjector", "FaultPlan"]
+__all__ = [
+    "Corruptor",
+    "CrashedImage",
+    "FaultInjector",
+    "FaultPlan",
+    "build_crashed_image",
+]

@@ -47,6 +47,7 @@ from repro.workloads.base import Event, MetaOp, Op, ReadOp, WriteOp
 __all__ = [
     "DURATIONS",
     "RATES",
+    "ScrubSpec",
     "ServiceSpec",
     "ServiceTelemetry",
     "ServiceWorkload",
@@ -101,6 +102,31 @@ def resolve_duration(duration: str | float) -> float:
     if duration <= 0:
         raise ConfigError(f"duration must be positive: {duration}")
     return float(duration)
+
+
+@dataclass(frozen=True)
+class ScrubSpec:
+    """Online-scrub schedule for the service loop (docs/FSCK.md).
+
+    Every ``interval_s`` simulated seconds the event loop dispatches one
+    scrub step — the :class:`~repro.fs.verify.Scrubber` visits its next
+    shard between foreground arrivals.  With ``corrupt_every`` > 0 the
+    seeded corruptor injects ``nfaults`` data-plane corruptions before
+    every ``corrupt_every``-th step, giving the scrub live damage to find
+    and repair while traffic keeps flowing.
+    """
+
+    interval_s: float = 0.05
+    corrupt_every: int = 0
+    nfaults: int = 1
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ConfigError(f"scrub interval must be positive: {self.interval_s}")
+        if self.corrupt_every < 0:
+            raise ConfigError(f"corrupt_every must be >= 0: {self.corrupt_every}")
+        if self.nfaults < 1:
+            raise ConfigError(f"nfaults must be >= 1: {self.nfaults}")
 
 
 @dataclass(frozen=True)

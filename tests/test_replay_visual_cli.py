@@ -149,7 +149,11 @@ class TestCli:
         assert "after:" in out
         assert "defrag: moved" in out
 
-    def test_fsck_clean(self, capsys):
-        assert main(["fsck"]) == 0
+    def test_fsck_finds_and_repairs_corruption(self, capsys):
+        assert main(["fsck", "--scale", "0.3", "--seed", "3"]) == 1
         out = capsys.readouterr().out
-        assert "0 errors" in out
+        assert "crashed image:" in out
+        assert "finding(s)" in out
+        assert main(["fsck", "--scale", "0.3", "--seed", "3", "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "clean after" in out
